@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the software binary16: conversion and
+//! arithmetic throughput vs. native f32 (quantifies the CPU FP16
+//! emulation cost the paper observed on Zen 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfport_half::F16;
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 4096;
+
+fn bench_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("half_conversion");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let floats: Vec<f32> = (0..N).map(|i| i as f32 * 0.37).collect();
+    group.bench_function("f32_to_f16", |b| {
+        b.iter(|| {
+            let v: Vec<F16> = black_box(&floats).iter().map(|&x| F16::from_f32(x)).collect();
+            black_box(v)
+        })
+    });
+    let halves: Vec<F16> = floats.iter().map(|&x| F16::from_f32(x)).collect();
+    group.bench_function("f16_to_f32", |b| {
+        b.iter(|| {
+            let v: Vec<f32> = black_box(&halves).iter().map(|x| x.to_f32()).collect();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("half_axpy_vs_f32");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let xs32: Vec<f32> = (0..N).map(|i| (i % 100) as f32 * 0.01).collect();
+    let xs16: Vec<F16> = xs32.iter().map(|&x| F16::from_f32(x)).collect();
+    group.bench_function("f32", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in black_box(&xs32) {
+                acc = 1.5f32.mul_add(x, acc);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("f16_soft", |b| {
+        let alpha = F16::from_f32(1.5);
+        b.iter(|| {
+            let mut acc = F16::ZERO;
+            for &x in black_box(&xs16) {
+                acc = alpha.mul_add(x, acc);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion, bench_axpy);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 4: Crusher CPU (AMD EPYC 7A53) multithreaded GEMM,
+//! 64 threads across 4 NUMA regions, FP64 and FP32.
+
+fn main() {
+    let args = perfport_bench::HarnessArgs::from_env();
+    perfport_bench::print_panels(&["fig4a", "fig4b"], &args);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 5: Wombat CPU (Ampere Altra) multithreaded GEMM,
+//! 80 threads, FP64 / FP32 / Julia FP16.
+
+fn main() {
+    let args = perfport_bench::HarnessArgs::from_env();
+    perfport_bench::print_panels(&["fig5a", "fig5b", "fig5c"], &args);
+}

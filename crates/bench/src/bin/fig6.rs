@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: Crusher GPU (AMD MI250X) GEMM with 32×32 thread
+//! blocks, FP64 / FP32 / Julia FP16-input.
+
+fn main() {
+    let args = perfport_bench::HarnessArgs::from_env();
+    perfport_bench::print_panels(&["fig6a", "fig6b", "fig6c"], &args);
+}

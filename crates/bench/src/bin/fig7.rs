@@ -1,0 +1,7 @@
+//! Regenerates Fig. 7: Wombat GPU (NVIDIA A100) GEMM with 32×32 thread
+//! blocks, FP64 / FP32 / FP16 (Julia and Numba).
+
+fn main() {
+    let args = perfport_bench::HarnessArgs::from_env();
+    perfport_bench::print_panels(&["fig7a", "fig7b", "fig7c"], &args);
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper-vs-reproduction anchor comparison (the
+//! machine-checkable core of EXPERIMENTS.md) from live runs.
+
+use perfport_core::{render_report, reproduction_report};
+
+fn main() {
+    let args = perfport_bench::HarnessArgs::from_env();
+    let anchors = reproduction_report(&args.config());
+    print!("{}", render_report(&anchors));
+    if anchors.iter().any(|a| !a.matches()) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,78 @@
+//! R1: roofline context for all four machines and the naive GEMM's
+//! arithmetic intensity, plus the productivity measures for the paper's
+//! kernel snippets (§V discussion).
+
+use perfport_gemm::CpuVariant;
+use perfport_machines::{Precision, Roofline};
+use perfport_metrics::productivity;
+use perfport_models::Arch;
+
+fn main() {
+    println!("== R1: rooflines ==");
+    println!(
+        "  {:<22} {:>6} {:>14} {:>12} {:>12}",
+        "machine", "prec", "peak GF/s", "BW GB/s", "ridge AI"
+    );
+    for arch in Arch::ALL {
+        for p in [Precision::Double, Precision::Single] {
+            let (name, roof) = roofline_for(arch, p);
+            println!(
+                "  {:<22} {:>6} {:>14.0} {:>12.0} {:>12.2}",
+                name,
+                p.label(),
+                roof.peak_gflops,
+                roof.bw_gbs,
+                roof.ridge_ai()
+            );
+        }
+    }
+
+    println!();
+    println!("  naive GEMM DRAM arithmetic intensity (32x32 GPU blocks):");
+    for p in [Precision::Double, Precision::Single] {
+        // flops per DRAM byte with block-level reuse: 2·bx·by·k /
+        // ((bx + by)·k·bytes) = 32 / bytes for square 32x32 blocks.
+        let ai = 32.0 / p.bytes() as f64;
+        println!("    {}: {ai:.1} flops/byte", p.label());
+    }
+    println!("  => memory-bound on every GPU at FP64; the binding ceiling in");
+    println!("     practice is L1/LSU traffic (two loads per FMA), see DESIGN.md.");
+
+    println!();
+    println!("== productivity of the Fig. 2 kernels ==");
+    println!(
+        "  {:<14} {:>8} {:>8} {:>22}",
+        "model", "lines", "tokens", "parallel annotations"
+    );
+    for v in CpuVariant::ALL {
+        let p = productivity(v.source_snippet());
+        println!(
+            "  {:<14} {:>8} {:>8} {:>22}",
+            v.name(),
+            p.lines,
+            p.tokens,
+            p.parallel_annotations
+        );
+    }
+}
+
+fn roofline_for(arch: Arch, p: Precision) -> (&'static str, Roofline) {
+    if let Some(cpu) = arch.cpu_machine() {
+        (
+            cpu.name,
+            Roofline {
+                peak_gflops: cpu.peak_gflops(p),
+                bw_gbs: cpu.total_bw_gbs(),
+            },
+        )
+    } else {
+        let gpu = arch.gpu_machine().unwrap();
+        (
+            gpu.name,
+            Roofline {
+                peak_gflops: gpu.peak_gflops(p),
+                bw_gbs: gpu.mem_bw_gbs,
+            },
+        )
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table III: per-architecture performance efficiencies and
+//! the Φ_M portability metric for FP64 and FP32, plus the Pennycook PP
+//! (harmonic) extension row (experiment A3).
+
+use perfport_core::{efficiency_table, render_table3};
+use perfport_machines::Precision;
+
+fn main() {
+    let args = perfport_bench::HarnessArgs::from_env();
+    let cfg = args.config();
+    let reports = vec![
+        efficiency_table(Precision::Double, &cfg),
+        efficiency_table(Precision::Single, &cfg),
+    ];
+    println!("{}", render_table3(&reports));
+}

@@ -1,0 +1,100 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Every binary accepts `--quick` (reduced sweep for smoke testing) and
+//! `--csv` (machine-readable output next to the human-readable table).
+
+use perfport_core::{figure_specs, render_csv, render_figure, FigureSpec, StudyConfig};
+
+/// Command-line options shared by the regeneration binaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarnessArgs {
+    /// Reduced sweep.
+    pub quick: bool,
+    /// Also print CSV blocks.
+    pub csv: bool,
+}
+
+impl HarnessArgs {
+    /// Parses the arguments every binary supports.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = HarnessArgs::default();
+        for a in args {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--csv]");
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// The study configuration these arguments select.
+    pub fn config(&self) -> StudyConfig {
+        if self.quick {
+            StudyConfig::quick()
+        } else {
+            StudyConfig::default()
+        }
+    }
+}
+
+/// Finds a registered figure spec by id.
+///
+/// # Panics
+///
+/// Panics for unknown ids.
+pub fn spec(id: &str) -> FigureSpec {
+    figure_specs()
+        .into_iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("unknown figure id {id}"))
+}
+
+/// Runs the panels and prints them (plus CSV when requested).
+pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
+    let cfg = args.config();
+    for id in ids {
+        let spec = spec(id);
+        let rows = spec.run(&cfg);
+        println!("== {} ==", spec.id);
+        println!("{}", render_figure(spec.title, &rows));
+        if args.csv {
+            println!("-- {} csv --", spec.id);
+            println!("{}", render_csv(&rows));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let a = HarnessArgs::parse(vec!["--quick".to_string(), "--csv".to_string()]);
+        assert!(a.quick && a.csv);
+        let b = HarnessArgs::parse(Vec::<String>::new());
+        assert!(!b.quick && !b.csv);
+        assert_eq!(b.config().gpu_sizes.len(), 9);
+        assert_eq!(a.config().gpu_sizes.len(), 2);
+    }
+
+    #[test]
+    fn spec_lookup() {
+        assert_eq!(spec("fig4a").id, "fig4a");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure id")]
+    fn unknown_spec_panics() {
+        let _ = spec("fig9z");
+    }
+}

@@ -1,0 +1,155 @@
+//! Scaling functional-simulation counters to target problem sizes.
+//!
+//! Running the SIMT simulator at production sizes (n = 20480 ⇒ 4·10¹²
+//! thread-steps) is infeasible and unnecessary: the naive GEMM's counters
+//! are exactly linear in `m·n·k` with shape-independent coefficients, so
+//! the runner measures them at a small calibration size and scales. The
+//! scaling is validated against direct simulation in the tests.
+
+use perfport_gpusim::LaunchStats;
+use perfport_machines::{GemmShape, GpuKernelProfile};
+
+/// Per-flop traffic coefficients measured from a calibration launch.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficCoefficients {
+    /// Requested element bytes (loads + stores) per flop.
+    pub l1_bytes_per_flop: f64,
+}
+
+impl TrafficCoefficients {
+    /// Extracts coefficients from a calibration launch's counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the launch tallied no flops.
+    pub fn from_stats(stats: &LaunchStats) -> Self {
+        assert!(stats.flops > 0, "calibration launch tallied no flops");
+        TrafficCoefficients {
+            l1_bytes_per_flop: (stats.load_bytes + stats.store_bytes) as f64 / stats.flops as f64,
+        }
+    }
+}
+
+/// Builds the timing-model input for a target shape from calibration
+/// coefficients plus the analytic DRAM footprint.
+///
+/// DRAM model for the fine-granularity kernel with `bx × by` blocks:
+/// every block reads `by` full rows of `A` and `bx` full columns of `B`,
+/// so `A` is streamed once per grid column (`n / bx` times), `B` once per
+/// grid row (`m / by` times), and `C` is written once.
+pub fn gemm_gpu_profile(
+    shape: &GemmShape,
+    block: (u32, u32),
+    elem_bytes: usize,
+    coeffs: &TrafficCoefficients,
+) -> GpuKernelProfile {
+    let flops = shape.flops();
+    let (m, n, k) = (shape.m as f64, shape.n as f64, shape.k as f64);
+    let b = elem_bytes as f64;
+    let grid_cols = (n / f64::from(block.0)).max(1.0);
+    let grid_rows = (m / f64::from(block.1)).max(1.0);
+    let dram_bytes = m * k * b * grid_cols + k * n * b * grid_rows + m * n * b;
+    GpuKernelProfile {
+        flops,
+        l1_bytes: coeffs.l1_bytes_per_flop * flops,
+        dram_bytes,
+    }
+}
+
+/// Analytic divergence rate for a ragged grid: the fraction of warps
+/// containing out-of-bounds lanes. Zero when the block tiles the problem
+/// exactly (all the paper's sizes are multiples of 32).
+pub fn edge_divergence_rate(shape: &GemmShape, block: (u32, u32)) -> f64 {
+    let (bx, by) = (block.0 as usize, block.1 as usize);
+    let gx = shape.n.div_ceil(bx);
+    let gy = shape.m.div_ceil(by);
+    if gx == 0 || gy == 0 {
+        return 0.0;
+    }
+    // Blocks on the ragged right edge and bottom edge contain partial
+    // warps; within such a block essentially every warp is divergent.
+    let ragged_x = usize::from(!shape.n.is_multiple_of(bx));
+    let ragged_y = usize::from(!shape.m.is_multiple_of(by));
+    let edge_blocks = ragged_x * gy + ragged_y * gx - ragged_x * ragged_y;
+    edge_blocks as f64 / (gx * gy) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfport_gemm::{gpu_gemm, GpuVariant, Layout, Matrix};
+    use perfport_gpusim::{Dim3, Gpu};
+
+    fn measure(n: usize) -> LaunchStats {
+        let gpu = Gpu::new(GpuVariant::Cuda.device_class());
+        let a = Matrix::<f64>::random(n, n, Layout::RowMajor, 1);
+        let b = Matrix::<f64>::random(n, n, Layout::RowMajor, 2);
+        let (_, stats) = gpu_gemm(&gpu, GpuVariant::Cuda, &a, &b, Dim3::d2(32, 32)).unwrap();
+        stats
+    }
+
+    #[test]
+    fn coefficients_are_size_invariant() {
+        // The whole premise of counter scaling: per-flop coefficients at
+        // n=64 equal those at n=128.
+        let small = TrafficCoefficients::from_stats(&measure(64));
+        let large = TrafficCoefficients::from_stats(&measure(128));
+        let rel = (small.l1_bytes_per_flop - large.l1_bytes_per_flop).abs()
+            / large.l1_bytes_per_flop;
+        assert!(rel < 0.02, "coefficients drifted by {rel}");
+    }
+
+    #[test]
+    fn scaled_l1_bytes_match_direct_simulation() {
+        let coeffs = TrafficCoefficients::from_stats(&measure(64));
+        let target = measure(160);
+        let predicted = gemm_gpu_profile(
+            &GemmShape::square(160),
+            (32, 32),
+            8,
+            &coeffs,
+        );
+        let actual = (target.load_bytes + target.store_bytes) as f64;
+        let rel = (predicted.l1_bytes - actual).abs() / actual;
+        assert!(rel < 0.02, "l1 scaling off by {rel}");
+    }
+
+    #[test]
+    fn l1_per_flop_is_close_to_theory() {
+        // Two 8-byte loads per 2 flops plus the one-off store: ≈ 8
+        // bytes/flop for f64.
+        let c = TrafficCoefficients::from_stats(&measure(96));
+        assert!((c.l1_bytes_per_flop - 8.0).abs() < 0.2, "{c:?}");
+    }
+
+    #[test]
+    fn dram_footprint_formula() {
+        let p = gemm_gpu_profile(
+            &GemmShape::square(1024),
+            (32, 32),
+            8,
+            &TrafficCoefficients {
+                l1_bytes_per_flop: 8.0,
+            },
+        );
+        let n = 1024.0f64;
+        let expected = n * n * 8.0 * (n / 32.0) * 2.0 + n * n * 8.0;
+        assert!((p.dram_bytes - expected).abs() < 1.0);
+        assert_eq!(p.flops, 2.0 * n * n * n);
+    }
+
+    #[test]
+    fn divergence_zero_for_exact_tiles() {
+        assert_eq!(edge_divergence_rate(&GemmShape::square(1024), (32, 32)), 0.0);
+        assert_eq!(edge_divergence_rate(&GemmShape::square(20480), (32, 32)), 0.0);
+    }
+
+    #[test]
+    fn divergence_positive_for_ragged_grids() {
+        let r = edge_divergence_rate(&GemmShape::square(1000), (32, 32));
+        assert!(r > 0.0 && r < 0.2, "{r}");
+        // Small ragged problems are mostly edge.
+        let tiny = edge_divergence_rate(&GemmShape::square(33), (32, 32));
+        assert!(tiny > 0.7, "{tiny}");
+    }
+}

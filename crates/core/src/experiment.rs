@@ -1,0 +1,223 @@
+//! Experiment descriptions and results.
+
+use perfport_machines::{Bound, Precision};
+use perfport_models::{Arch, ProgModel};
+use std::fmt;
+
+/// One experiment: a model on an architecture at a precision, swept over
+/// square matrix sizes.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Programming model under test.
+    pub model: ProgModel,
+    /// Element precision.
+    pub precision: Precision,
+    /// Square matrix sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Timed repetitions per size after the excluded warm-up (the paper
+    /// runs "at least 5 or 10").
+    pub reps: usize,
+    /// Seed for input data and run-to-run noise.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// A new experiment with the paper's repetition count (5) and a fixed
+    /// seed.
+    pub fn new(arch: Arch, model: ProgModel, precision: Precision, sizes: Vec<usize>) -> Self {
+        Experiment {
+            arch,
+            model,
+            precision,
+            sizes,
+            reps: 5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A measured point of the size sweep.
+#[derive(Debug, Clone)]
+pub struct SizePoint {
+    /// Square matrix size.
+    pub n: usize,
+    /// Mean throughput over the timed repetitions, GFLOP/s.
+    pub gflops: f64,
+    /// Mean kernel time, seconds.
+    pub seconds: f64,
+    /// The binding resource according to the timing model.
+    pub bound: Bound,
+    /// Per-repetition throughput samples, GFLOP/s (the paper reports only
+    /// the expected value; the samples support the variability analysis
+    /// it skips).
+    pub samples: Vec<f64>,
+}
+
+impl SizePoint {
+    /// Sample standard deviation of the per-repetition throughput.
+    pub fn stddev_gflops(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (self.samples.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (relative run-to-run noise).
+    pub fn cv(&self) -> f64 {
+        if self.gflops == 0.0 {
+            0.0
+        } else {
+            self.stddev_gflops() / self.gflops
+        }
+    }
+}
+
+/// The outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The experiment that produced this result.
+    pub experiment: Experiment,
+    /// One point per size, in sweep order.
+    pub points: Vec<SizePoint>,
+    /// Maximum relative error of the functional verification run against
+    /// the `f64` reference.
+    pub verification_rel_err: f64,
+    /// Excluded warm-up time (JIT compilation + first repetition),
+    /// seconds — the quantity the paper's protocol discards.
+    pub warmup_excluded_s: f64,
+    /// Present when the combination runs with a documented workaround
+    /// (`Support::Partial`).
+    pub support_note: Option<String>,
+}
+
+impl ExperimentResult {
+    /// The point for size `n`, if it was swept.
+    pub fn at(&self, n: usize) -> Option<&SizePoint> {
+        self.points.iter().find(|p| p.n == n)
+    }
+
+    /// Mean throughput over the whole sweep, GFLOP/s.
+    pub fn mean_gflops(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.gflops).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Why an experiment could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The support matrix rules the combination out.
+    Unsupported {
+        /// Model that cannot run.
+        model: ProgModel,
+        /// Architecture it cannot run on.
+        arch: Arch,
+        /// The paper's reason.
+        reason: String,
+    },
+    /// The functional verification failed — the kernel is wrong.
+    VerificationFailed(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Unsupported { model, arch, reason } => {
+                write!(f, "{model} is unsupported on {arch}: {reason}")
+            }
+            RunError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_defaults_match_the_paper() {
+        let e = Experiment::new(
+            Arch::A100,
+            ProgModel::Cuda,
+            Precision::Double,
+            vec![1024, 2048],
+        );
+        assert_eq!(e.reps, 5);
+        assert_eq!(e.sizes, vec![1024, 2048]);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let e = Experiment::new(Arch::A100, ProgModel::Cuda, Precision::Double, vec![8, 16]);
+        let r = ExperimentResult {
+            experiment: e,
+            points: vec![
+                SizePoint {
+                    n: 8,
+                    gflops: 10.0,
+                    seconds: 0.1,
+                    bound: Bound::Compute,
+                    samples: vec![9.0, 11.0],
+                },
+                SizePoint {
+                    n: 16,
+                    gflops: 30.0,
+                    seconds: 0.2,
+                    bound: Bound::Compute,
+                    samples: vec![30.0, 30.0],
+                },
+            ],
+            verification_rel_err: 0.0,
+            warmup_excluded_s: 0.0,
+            support_note: None,
+        };
+        assert_eq!(r.at(16).unwrap().gflops, 30.0);
+        assert!(r.at(32).is_none());
+        assert!((r.mean_gflops() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_statistics() {
+        let p = SizePoint {
+            n: 8,
+            gflops: 10.0,
+            seconds: 0.1,
+            bound: Bound::Compute,
+            samples: vec![9.0, 10.0, 11.0],
+        };
+        assert!((p.stddev_gflops() - 1.0).abs() < 1e-12);
+        assert!((p.cv() - 0.1).abs() < 1e-12);
+        let empty = SizePoint {
+            n: 8,
+            gflops: 0.0,
+            seconds: 0.0,
+            bound: Bound::Compute,
+            samples: vec![],
+        };
+        assert_eq!(empty.stddev_gflops(), 0.0);
+        assert_eq!(empty.cv(), 0.0);
+    }
+
+    #[test]
+    fn run_error_display() {
+        let e = RunError::Unsupported {
+            model: ProgModel::NumbaCuda,
+            arch: Arch::Mi250x,
+            reason: "deprecated".into(),
+        };
+        assert!(e.to_string().contains("unsupported"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The reproduction report: paper-reported vs. regenerated values for
+//! every quantitative anchor, as a machine-checkable structure and a
+//! rendered markdown section.
+//!
+//! `EXPERIMENTS.md` is the narrative version of this; the
+//! `perfport-bench` `report` binary regenerates the comparison from live
+//! runs so drift between code and documentation is detectable
+//! (`cargo run -p perfport-bench --bin report`).
+
+use crate::analysis::efficiency_table;
+use crate::study::StudyConfig;
+use perfport_machines::Precision;
+use perfport_models::{Arch, ModelFamily};
+
+/// One quantitative anchor from the paper, compared against the
+/// regenerated value.
+#[derive(Debug, Clone)]
+pub struct Anchor {
+    /// Where the number appears in the paper.
+    pub source: &'static str,
+    /// What it measures.
+    pub quantity: String,
+    /// The paper's value (`None` marks an unsupported combination).
+    pub paper: Option<f64>,
+    /// The regenerated value.
+    pub reproduced: Option<f64>,
+    /// Acceptance tolerance (absolute).
+    pub tolerance: f64,
+}
+
+impl Anchor {
+    /// Whether the regenerated value matches the paper within tolerance
+    /// (including agreeing on "unsupported").
+    pub fn matches(&self) -> bool {
+        match (self.paper, self.reproduced) {
+            (None, None) => true,
+            (Some(p), Some(r)) => (p - r).abs() <= self.tolerance,
+            _ => false,
+        }
+    }
+}
+
+/// The paper's Table III anchors (both precisions).
+pub fn table_iii_anchors() -> Vec<(Arch, ModelFamily, Precision, Option<f64>)> {
+    use Arch::*;
+    use ModelFamily::*;
+    use Precision::*;
+    vec![
+        (Epyc7A53, Kokkos, Double, Some(0.994)),
+        (Epyc7A53, Julia, Double, Some(0.912)),
+        (Epyc7A53, PythonNumba, Double, Some(0.550)),
+        (AmpereAltra, Kokkos, Double, Some(0.854)),
+        (AmpereAltra, Julia, Double, Some(0.907)),
+        (AmpereAltra, PythonNumba, Double, Some(0.713)),
+        (Mi250x, Kokkos, Double, Some(0.842)),
+        (Mi250x, Julia, Double, Some(0.903)),
+        (Mi250x, PythonNumba, Double, None),
+        (A100, Kokkos, Double, Some(0.260)),
+        (A100, Julia, Double, Some(0.867)),
+        (A100, PythonNumba, Double, Some(0.130)),
+        (Epyc7A53, Kokkos, Single, Some(1.014)),
+        (Epyc7A53, Julia, Single, Some(0.976)),
+        (Epyc7A53, PythonNumba, Single, Some(0.655)),
+        (AmpereAltra, Kokkos, Single, Some(0.836)),
+        (AmpereAltra, Julia, Single, Some(0.900)),
+        (AmpereAltra, PythonNumba, Single, Some(0.400)),
+        (Mi250x, Kokkos, Single, Some(0.677)),
+        (Mi250x, Julia, Single, Some(1.050)),
+        (Mi250x, PythonNumba, Single, None),
+        (A100, Kokkos, Single, Some(0.208)),
+        (A100, Julia, Single, Some(0.600)),
+        (A100, PythonNumba, Single, Some(0.095)),
+    ]
+}
+
+/// The paper's Φ_M aggregates.
+pub fn phi_anchors() -> Vec<(ModelFamily, Precision, f64)> {
+    use ModelFamily::*;
+    use Precision::*;
+    vec![
+        (Kokkos, Double, 0.738),
+        (Julia, Double, 0.897),
+        (PythonNumba, Double, 0.348),
+        (Kokkos, Single, 0.684),
+        (Julia, Single, 0.882),
+        (PythonNumba, Single, 0.288),
+    ]
+}
+
+/// Runs the study and compares every Table III anchor.
+pub fn reproduction_report(cfg: &StudyConfig) -> Vec<Anchor> {
+    let double = efficiency_table(Precision::Double, cfg);
+    let single = efficiency_table(Precision::Single, cfg);
+    let pick = |p: Precision| if p == Precision::Double { &double } else { &single };
+
+    let mut anchors = Vec::new();
+    for (arch, family, precision, paper) in table_iii_anchors() {
+        let reproduced = pick(precision)
+            .matrix
+            .get(arch.table_label(), family.label());
+        anchors.push(Anchor {
+            source: "Table III",
+            quantity: format!("e_{{{}}} {} {}", arch.table_label(), family.label(), precision),
+            paper,
+            reproduced,
+            tolerance: 0.08,
+        });
+    }
+    for (family, precision, paper) in phi_anchors() {
+        anchors.push(Anchor {
+            source: "Table III",
+            quantity: format!("Phi_M {} {}", family.label(), precision),
+            paper: Some(paper),
+            reproduced: Some(pick(precision).phi(family)),
+            tolerance: 0.05,
+        });
+    }
+    anchors
+}
+
+/// Renders the anchor comparison as a markdown table.
+pub fn render_report(anchors: &[Anchor]) -> String {
+    let mut out = String::from(
+        "| source | quantity | paper | reproduced | within tol |\n|---|---|---|---|---|\n",
+    );
+    for a in anchors {
+        let fmt = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.3}"));
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            a.source,
+            a.quantity,
+            fmt(a.paper),
+            fmt(a.reproduced),
+            if a.matches() { "yes" } else { "NO" }
+        ));
+    }
+    let passed = anchors.iter().filter(|a| a.matches()).count();
+    out.push_str(&format!(
+        "\n{passed}/{} anchors reproduced within tolerance.\n",
+        anchors.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_matching_logic() {
+        let a = Anchor {
+            source: "t",
+            quantity: "q".into(),
+            paper: Some(0.5),
+            reproduced: Some(0.52),
+            tolerance: 0.05,
+        };
+        assert!(a.matches());
+        let far = Anchor {
+            reproduced: Some(0.7),
+            ..a.clone()
+        };
+        assert!(!far.matches());
+        let both_missing = Anchor {
+            paper: None,
+            reproduced: None,
+            ..a.clone()
+        };
+        assert!(both_missing.matches());
+        let half_missing = Anchor {
+            paper: None,
+            ..a
+        };
+        assert!(!half_missing.matches());
+    }
+
+    #[test]
+    fn all_anchors_reproduce() {
+        let anchors = reproduction_report(&StudyConfig::quick());
+        let failures: Vec<String> = anchors
+            .iter()
+            .filter(|a| !a.matches())
+            .map(|a| {
+                format!(
+                    "{}: paper {:?} vs reproduced {:?}",
+                    a.quantity, a.paper, a.reproduced
+                )
+            })
+            .collect();
+        assert!(failures.is_empty(), "anchors failed:\n{}", failures.join("\n"));
+        assert_eq!(anchors.len(), 30);
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let anchors = vec![Anchor {
+            source: "Table III",
+            quantity: "test".into(),
+            paper: Some(1.0),
+            reproduced: Some(1.0),
+            tolerance: 0.1,
+        }];
+        let text = render_report(&anchors);
+        assert!(text.contains("| Table III | test | 1.000 | 1.000 | yes |"));
+        assert!(text.contains("1/1 anchors"));
+    }
+}

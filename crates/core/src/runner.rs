@@ -1,0 +1,500 @@
+//! The experiment runner: verify functionally, model timing, apply the
+//! paper's measurement protocol.
+
+use crate::counters::{edge_divergence_rate, gemm_gpu_profile, TrafficCoefficients};
+use crate::experiment::{Experiment, ExperimentResult, RunError, SizePoint};
+use crate::noise::NoiseSource;
+use perfport_gemm::{
+    gpu_gemm_mixed, par_gemm, verify_gemm, CpuVariant, GpuVariant, Layout, Matrix, Scalar,
+};
+use perfport_gpusim::{occupancy, Dim3, Gpu, LaunchStats};
+use perfport_half::F16;
+use perfport_machines::{
+    estimate_cpu_gemm, estimate_gpu_kernel, CpuExecution, GemmShape, GpuExecution, Precision,
+};
+use perfport_models::{
+    codegen_efficiency, cpu_profile, gpu_profile, size_penalty, support, ProgModel, Support,
+};
+use perfport_pool::{PinPolicy, Schedule, ThreadPool};
+
+/// Matrix size used for CPU functional verification.
+const CPU_VERIFY_N: usize = 48;
+/// Matrix size used for GPU functional verification and counter
+/// calibration (a multiple of the 32×32 block).
+const GPU_VERIFY_N: usize = 96;
+/// The paper's GPU thread-block shape.
+const GPU_BLOCK: (u32, u32) = (32, 32);
+
+/// Runs one experiment end to end.
+///
+/// ```
+/// use perfport_core::{run_experiment, Experiment};
+/// use perfport_machines::Precision;
+/// use perfport_models::{Arch, ProgModel};
+///
+/// let exp = Experiment::new(Arch::A100, ProgModel::Cuda, Precision::Double, vec![4096]);
+/// let result = run_experiment(&exp).unwrap();
+/// assert!(result.at(4096).unwrap().gflops > 0.0);
+/// assert!(result.verification_rel_err < 1e-10);
+/// ```
+///
+/// # Errors
+///
+/// [`RunError::Unsupported`] when the support matrix rules the
+/// combination out; [`RunError::VerificationFailed`] if the functional
+/// kernel does not match the `f64` reference.
+pub fn run_experiment(exp: &Experiment) -> Result<ExperimentResult, RunError> {
+    let sup = support(exp.model, exp.arch, exp.precision);
+    let note = match sup {
+        Support::Unsupported(reason) => {
+            return Err(RunError::Unsupported {
+                model: exp.model,
+                arch: exp.arch,
+                reason: reason.to_string(),
+            })
+        }
+        Support::Partial(why) => Some(why.to_string()),
+        Support::Supported => None,
+    };
+    if exp.arch.is_gpu() {
+        run_gpu(exp, note)
+    } else {
+        run_cpu(exp, note)
+    }
+}
+
+/// Whether this combination uses the paper's ones-filled-input fallback
+/// (no `float16` RNG in NumPy).
+fn uses_ones_inputs(exp: &Experiment) -> bool {
+    exp.precision == Precision::Half
+        && matches!(exp.model, ProgModel::NumbaParallel | ProgModel::NumbaCuda)
+}
+
+/// The CPU kernel variant a programming model maps to.
+fn cpu_variant(model: ProgModel) -> CpuVariant {
+    match model {
+        ProgModel::COpenMp => CpuVariant::OpenMpC,
+        ProgModel::KokkosOpenMp => CpuVariant::KokkosLambda,
+        ProgModel::JuliaThreads => CpuVariant::JuliaThreads,
+        ProgModel::NumbaParallel => CpuVariant::NumbaPrange,
+        other => panic!("{other} is not a CPU model"),
+    }
+}
+
+/// The GPU kernel variant a programming model maps to.
+fn gpu_variant(model: ProgModel) -> GpuVariant {
+    match model {
+        ProgModel::Cuda => GpuVariant::Cuda,
+        ProgModel::Hip => GpuVariant::Hip,
+        ProgModel::KokkosCuda => GpuVariant::KokkosCuda,
+        ProgModel::KokkosHip => GpuVariant::KokkosHip,
+        ProgModel::JuliaCudaJl => GpuVariant::JuliaCudaJl,
+        ProgModel::JuliaAmdGpu => GpuVariant::JuliaAmdGpu,
+        ProgModel::NumbaCuda => GpuVariant::NumbaCuda,
+        other => panic!("{other} is not a GPU model"),
+    }
+}
+
+fn noise_label(exp: &Experiment) -> String {
+    format!("{:?}/{:?}/{:?}", exp.arch, exp.model, exp.precision)
+}
+
+// ---------------------------------------------------------------- CPU --
+
+fn run_cpu(exp: &Experiment, note: Option<String>) -> Result<ExperimentResult, RunError> {
+    let machine = exp.arch.cpu_machine().expect("CPU arch");
+    let profile = cpu_profile(exp.model);
+    let variant = cpu_variant(exp.model);
+
+    let rel_err = match exp.precision {
+        Precision::Double => verify_cpu::<f64>(variant, exp)?,
+        Precision::Single => verify_cpu::<f32>(variant, exp)?,
+        Precision::Half => verify_cpu::<F16>(variant, exp)?,
+    };
+
+    let threads = machine.total_cores();
+    let pinned = profile.pin_policy != PinPolicy::Unpinned;
+    let cal = codegen_efficiency(exp.model, exp.arch, exp.precision);
+    let mut noise = NoiseSource::new(exp.seed, &noise_label(exp));
+
+    let mut points = Vec::with_capacity(exp.sizes.len());
+    for &n in &exp.sizes {
+        let shape = GemmShape::square(n);
+        // Static-block imbalance: the last round of rows may not fill
+        // the team.
+        let imbalance = if n == 0 {
+            1.0
+        } else {
+            (n.div_ceil(threads) * threads) as f64 / n as f64
+        };
+        let exec = CpuExecution {
+            threads,
+            pinned,
+            codegen_efficiency: cal.value
+                * size_penalty(exp.model, exp.arch, exp.precision, n),
+            region_overhead_us: machine.fork_join_us * profile.region_overhead_multiplier,
+            imbalance: imbalance.max(1.0),
+        };
+        let est = estimate_cpu_gemm(&machine, exp.precision, &shape, &exec);
+        points.push(timed_point(n, shape.flops(), est.seconds, est.bound, exp.reps, &mut noise));
+    }
+
+    let warmup = profile.jit_warmup_s + points.first().map_or(0.0, |p| p.seconds);
+    Ok(ExperimentResult {
+        experiment: exp.clone(),
+        points,
+        verification_rel_err: rel_err,
+        warmup_excluded_s: warmup,
+        support_note: note,
+    })
+}
+
+fn verify_cpu<T: Scalar>(variant: CpuVariant, exp: &Experiment) -> Result<f64, RunError> {
+    let n = CPU_VERIFY_N;
+    let layout = variant.layout();
+    let (a, b) = verification_inputs::<T>(exp, n, layout);
+    let mut c = Matrix::<T>::zeros(n, n, layout);
+    let host = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
+    let pool = ThreadPool::new(host);
+    par_gemm(&pool, variant, &a, &b, &mut c, Schedule::StaticBlock);
+    verify_gemm(&a, &b, &c).map_err(RunError::VerificationFailed)
+}
+
+fn verification_inputs<T: Scalar>(
+    exp: &Experiment,
+    n: usize,
+    layout: Layout,
+) -> (Matrix<T>, Matrix<T>) {
+    if uses_ones_inputs(exp) {
+        (Matrix::ones(n, n, layout), Matrix::ones(n, n, layout))
+    } else {
+        (
+            Matrix::random(n, n, layout, exp.seed),
+            Matrix::random(n, n, layout, exp.seed + 1),
+        )
+    }
+}
+
+// ---------------------------------------------------------------- GPU --
+
+fn run_gpu(exp: &Experiment, note: Option<String>) -> Result<ExperimentResult, RunError> {
+    let machine = exp.arch.gpu_machine().expect("GPU arch");
+    let profile = gpu_profile(exp.model);
+    let variant = gpu_variant(exp.model);
+
+    let (rel_err, stats) = match exp.precision {
+        Precision::Double => verify_gpu::<f64, f64>(variant, exp)?,
+        Precision::Single => verify_gpu::<f32, f32>(variant, exp)?,
+        // Fig. 1c: half inputs, single-precision accumulation/output.
+        Precision::Half => verify_gpu::<F16, f32>(variant, exp)?,
+    };
+    let coeffs = TrafficCoefficients::from_stats(&stats);
+
+    // 32×32 blocks, no shared memory: occupancy comes out of the classic
+    // limits calculation.
+    let occ = occupancy(machine.class, GPU_BLOCK.0 * GPU_BLOCK.1, 0);
+    let cal = codegen_efficiency(exp.model, exp.arch, exp.precision);
+    // The FP16 kernels convert to FP32 for the FMA (Fig. 1c), so the
+    // compute/L1 ceilings are the single-precision ones.
+    let ceiling_precision = match exp.precision {
+        Precision::Half => Precision::Single,
+        p => p,
+    };
+    let mut noise = NoiseSource::new(exp.seed, &noise_label(exp));
+
+    let mut points = Vec::with_capacity(exp.sizes.len());
+    for &n in &exp.sizes {
+        let shape = GemmShape::square(n);
+        let prof = gemm_gpu_profile(&shape, GPU_BLOCK, exp.precision.bytes(), &coeffs);
+        let grid_blocks = (shape.n.div_ceil(GPU_BLOCK.0 as usize)
+            * shape.m.div_ceil(GPU_BLOCK.1 as usize)) as u64;
+        let exec = GpuExecution {
+            codegen_efficiency: cal.value
+                * size_penalty(exp.model, exp.arch, exp.precision, n),
+            occupancy: occ.fraction,
+            divergence_rate: edge_divergence_rate(&shape, GPU_BLOCK),
+            launch_overhead_us: machine.launch_latency_us * profile.launch_overhead_multiplier,
+            grid_blocks,
+            blocks_per_sm: occ.blocks_per_sm,
+        };
+        let est = estimate_gpu_kernel(&machine, ceiling_precision, &prof, &exec);
+        points.push(timed_point(n, shape.flops(), est.seconds, est.bound, exp.reps, &mut noise));
+    }
+
+    let warmup = profile.jit_warmup_s + points.first().map_or(0.0, |p| p.seconds);
+    Ok(ExperimentResult {
+        experiment: exp.clone(),
+        points,
+        verification_rel_err: rel_err,
+        warmup_excluded_s: warmup,
+        support_note: note,
+    })
+}
+
+fn verify_gpu<I: Scalar, O: Scalar>(
+    variant: GpuVariant,
+    exp: &Experiment,
+) -> Result<(f64, LaunchStats), RunError> {
+    let n = GPU_VERIFY_N;
+    let (a, b) = verification_inputs::<I>(exp, n, Layout::RowMajor);
+    let gpu = Gpu::new(variant.device_class());
+    let (c, stats) = gpu_gemm_mixed::<I, O>(
+        &gpu,
+        variant,
+        &a,
+        &b,
+        Dim3::d2(GPU_BLOCK.0, GPU_BLOCK.1),
+    )
+    .map_err(|e| RunError::VerificationFailed(e.to_string()))?;
+
+    // Verify against the f64 reference at the *output* precision's
+    // tolerance.
+    let reference = perfport_gemm::gemm_reference_f64(&a, &b);
+    let c_row = c.to_layout(Layout::RowMajor);
+    let tol = perfport_gemm::Tolerance::for_gemm::<I>(n);
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let got = c_row[(i, j)].to_f64();
+            let want = reference[(i, j)];
+            if !tol.accepts(got, want) {
+                return Err(RunError::VerificationFailed(format!(
+                    "{variant}: C[{i},{j}] = {got}, reference {want}"
+                )));
+            }
+            let rel = if want == 0.0 {
+                (got - want).abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            worst = worst.max(rel);
+        }
+    }
+    Ok((worst, stats))
+}
+
+// ------------------------------------------------------------- shared --
+
+fn timed_point(
+    n: usize,
+    flops: f64,
+    modelled_seconds: f64,
+    bound: perfport_machines::Bound,
+    reps: usize,
+    noise: &mut NoiseSource,
+) -> SizePoint {
+    let reps = reps.max(1);
+    let mut total = 0.0;
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let rep_seconds = modelled_seconds * noise.factor();
+        total += rep_seconds;
+        samples.push(if rep_seconds > 0.0 {
+            flops / rep_seconds / 1e9
+        } else {
+            0.0
+        });
+    }
+    let seconds = total / reps as f64;
+    SizePoint {
+        n,
+        gflops: if seconds > 0.0 { flops / seconds / 1e9 } else { 0.0 },
+        seconds,
+        bound,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfport_models::Arch;
+
+    fn quick(arch: Arch, model: ProgModel, precision: Precision) -> Experiment {
+        Experiment::new(arch, model, precision, vec![1024, 4096])
+    }
+
+    #[test]
+    fn every_supported_combination_runs_and_verifies() {
+        for arch in Arch::ALL {
+            for model in ProgModel::candidates(arch) {
+                for precision in Precision::ALL {
+                    let exp = quick(arch, model, precision);
+                    match run_experiment(&exp) {
+                        Ok(r) => {
+                            assert_eq!(r.points.len(), 2, "{model} on {arch} {precision}");
+                            assert!(
+                                r.points.iter().all(|p| p.gflops > 0.0),
+                                "{model} on {arch} {precision}"
+                            );
+                            assert!(
+                                r.verification_rel_err < 0.05,
+                                "{model} on {arch} {precision}: err {}",
+                                r.verification_rel_err
+                            );
+                        }
+                        Err(RunError::Unsupported { .. }) => {
+                            assert!(
+                                !support(model, arch, precision).runs(),
+                                "{model} on {arch} {precision} errored but is supported"
+                            );
+                        }
+                        Err(e) => panic!("{model} on {arch} {precision}: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let exp = quick(Arch::A100, ProgModel::Cuda, Precision::Double);
+        let a = run_experiment(&exp).unwrap();
+        let b = run_experiment(&exp).unwrap();
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.gflops, y.gflops);
+        }
+    }
+
+    #[test]
+    fn different_seeds_jitter_results_slightly() {
+        let mut exp = quick(Arch::A100, ProgModel::Cuda, Precision::Double);
+        let a = run_experiment(&exp).unwrap();
+        exp.seed = 999;
+        let b = run_experiment(&exp).unwrap();
+        let (x, y) = (a.points[0].gflops, b.points[0].gflops);
+        assert_ne!(x, y);
+        assert!((x - y).abs() / x < 0.1, "noise too large: {x} vs {y}");
+    }
+
+    #[test]
+    fn numba_on_amd_gpu_is_rejected() {
+        let exp = quick(Arch::Mi250x, ProgModel::NumbaCuda, Precision::Double);
+        match run_experiment(&exp) {
+            Err(RunError::Unsupported { reason, .. }) => {
+                assert!(reason.contains("deprecated"));
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vendor_models_beat_their_portable_counterparts_fp64() {
+        // Fig. 7a ordering on the A100.
+        let sizes = vec![4096, 8192];
+        let run = |model| {
+            run_experiment(&Experiment::new(
+                Arch::A100,
+                model,
+                Precision::Double,
+                sizes.clone(),
+            ))
+            .unwrap()
+            .mean_gflops()
+        };
+        let cuda = run(ProgModel::Cuda);
+        let julia = run(ProgModel::JuliaCudaJl);
+        let kokkos = run(ProgModel::KokkosCuda);
+        let numba = run(ProgModel::NumbaCuda);
+        assert!(cuda > julia, "cuda {cuda} vs julia {julia}");
+        assert!(julia > kokkos, "julia {julia} vs kokkos {kokkos}");
+        assert!(kokkos > numba, "kokkos {kokkos} vs numba {numba}");
+    }
+
+    #[test]
+    fn julia_edges_out_hip_at_fp32_on_mi250x() {
+        // Fig. 6b: AMDGPU.jl slightly above HIP at single precision.
+        let sizes = vec![8192];
+        let run = |model| {
+            run_experiment(&Experiment::new(
+                Arch::Mi250x,
+                model,
+                Precision::Single,
+                sizes.clone(),
+            ))
+            .unwrap()
+            .mean_gflops()
+        };
+        let hip = run(ProgModel::Hip);
+        let julia = run(ProgModel::JuliaAmdGpu);
+        assert!(julia > hip, "julia {julia} vs hip {hip}");
+        assert!(julia < hip * 1.15, "gap should be small");
+    }
+
+    #[test]
+    fn julia_fp16_shows_no_gain_over_fp32_on_gpus() {
+        // Figs. 6c and 7c.
+        for (arch, model) in [
+            (Arch::A100, ProgModel::JuliaCudaJl),
+            (Arch::Mi250x, ProgModel::JuliaAmdGpu),
+        ] {
+            let sizes = vec![8192];
+            let half = run_experiment(&Experiment::new(
+                arch,
+                model,
+                Precision::Half,
+                sizes.clone(),
+            ))
+            .unwrap()
+            .mean_gflops();
+            let single = run_experiment(&Experiment::new(
+                arch,
+                model,
+                Precision::Single,
+                sizes,
+            ))
+            .unwrap()
+            .mean_gflops();
+            let ratio = half / single;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "{model} on {arch}: FP16/FP32 ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn kokkos_hip_dips_at_the_largest_size() {
+        // Fig. 6a's repeatable slowdown at n = 20480.
+        let exp = Experiment::new(
+            Arch::Mi250x,
+            ProgModel::KokkosHip,
+            Precision::Double,
+            vec![16384, 20480],
+        );
+        let r = run_experiment(&exp).unwrap();
+        let before = r.at(16384).unwrap().gflops;
+        let after = r.at(20480).unwrap().gflops;
+        assert!(after < before * 0.85, "no dip: {before} -> {after}");
+        // The vendor HIP curve does not dip.
+        let hip = run_experiment(&Experiment::new(
+            Arch::Mi250x,
+            ProgModel::Hip,
+            Precision::Double,
+            vec![16384, 20480],
+        ))
+        .unwrap();
+        assert!(hip.at(20480).unwrap().gflops > hip.at(16384).unwrap().gflops * 0.9);
+    }
+
+    #[test]
+    fn jit_models_report_warmup() {
+        let julia = run_experiment(&quick(
+            Arch::Epyc7A53,
+            ProgModel::JuliaThreads,
+            Precision::Double,
+        ))
+        .unwrap();
+        let c = run_experiment(&quick(Arch::Epyc7A53, ProgModel::COpenMp, Precision::Double))
+            .unwrap();
+        assert!(julia.warmup_excluded_s > c.warmup_excluded_s + 1.0);
+    }
+
+    #[test]
+    fn numba_half_carries_the_ones_workaround_note() {
+        let exp = quick(Arch::A100, ProgModel::NumbaCuda, Precision::Half);
+        let r = run_experiment(&exp).unwrap();
+        let note = r.support_note.expect("partial support note");
+        assert!(note.contains("ones"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Single-node thread-scaling study (extension A4).
+//!
+//! The paper's introduction frames the work as analysing "single node
+//! scalability", though the figures only show full-node runs. This
+//! module sweeps the team size for any CPU model and reports
+//! speedup/parallel-efficiency curves, including the NUMA kink that
+//! appears on Crusher once a team spans more than one domain while
+//! unpinned.
+
+use crate::experiment::RunError;
+use perfport_machines::{estimate_cpu_gemm, CpuExecution, GemmShape, Precision};
+use perfport_models::{codegen_efficiency, cpu_profile, support, Arch, ProgModel, Support};
+use perfport_pool::PinPolicy;
+
+/// A thread-scaling sweep description.
+#[derive(Debug, Clone)]
+pub struct ScalingStudy {
+    /// CPU architecture.
+    pub arch: Arch,
+    /// CPU programming model.
+    pub model: ProgModel,
+    /// Element precision.
+    pub precision: Precision,
+    /// Square matrix size.
+    pub n: usize,
+    /// Team sizes to sweep (e.g. `[1, 2, 4, ..., 64]`).
+    pub thread_counts: Vec<usize>,
+}
+
+impl ScalingStudy {
+    /// Power-of-two team sizes up to the machine's core count.
+    pub fn pow2(arch: Arch, model: ProgModel, precision: Precision, n: usize) -> Self {
+        let cores = arch
+            .cpu_machine()
+            .map(|m| m.total_cores())
+            .unwrap_or(64);
+        let mut thread_counts = Vec::new();
+        let mut t = 1;
+        while t < cores {
+            thread_counts.push(t);
+            t *= 2;
+        }
+        thread_counts.push(cores);
+        ScalingStudy {
+            arch,
+            model,
+            precision,
+            n,
+            thread_counts,
+        }
+    }
+}
+
+/// One point of the scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Team size.
+    pub threads: usize,
+    /// Modelled throughput, GFLOP/s.
+    pub gflops: f64,
+}
+
+/// The scaling sweep result.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// The study that produced this result.
+    pub study: ScalingStudy,
+    /// Points in sweep order.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingResult {
+    /// Speedup over the single-thread point.
+    pub fn speedup(&self, threads: usize) -> Option<f64> {
+        let base = self.points.iter().find(|p| p.threads == 1)?.gflops;
+        let at = self.points.iter().find(|p| p.threads == threads)?.gflops;
+        Some(at / base)
+    }
+
+    /// Parallel efficiency (`speedup / threads`).
+    pub fn parallel_efficiency(&self, threads: usize) -> Option<f64> {
+        Some(self.speedup(threads)? / threads as f64)
+    }
+}
+
+/// Runs the sweep.
+///
+/// # Errors
+///
+/// [`RunError::Unsupported`] for combinations the study excludes or
+/// GPU architectures.
+pub fn run_scaling(study: &ScalingStudy) -> Result<ScalingResult, RunError> {
+    if let Support::Unsupported(reason) = support(study.model, study.arch, study.precision) {
+        return Err(RunError::Unsupported {
+            model: study.model,
+            arch: study.arch,
+            reason: reason.to_string(),
+        });
+    }
+    let machine = study.arch.cpu_machine().ok_or_else(|| RunError::Unsupported {
+        model: study.model,
+        arch: study.arch,
+        reason: "thread scaling is a CPU study".to_string(),
+    })?;
+    let profile = cpu_profile(study.model);
+    let cal = codegen_efficiency(study.model, study.arch, study.precision);
+    let shape = GemmShape::square(study.n);
+
+    let points = study
+        .thread_counts
+        .iter()
+        .map(|&threads| {
+            let imbalance = if study.n == 0 {
+                1.0
+            } else {
+                (study.n.div_ceil(threads.max(1)) * threads.max(1)) as f64 / study.n as f64
+            };
+            let exec = CpuExecution {
+                threads: threads.max(1),
+                pinned: profile.pin_policy != PinPolicy::Unpinned,
+                codegen_efficiency: cal.value,
+                region_overhead_us: machine.fork_join_us * profile.region_overhead_multiplier,
+                imbalance: imbalance.max(1.0),
+            };
+            let est = estimate_cpu_gemm(&machine, study.precision, &shape, &exec);
+            ScalingPoint {
+                threads,
+                gflops: est.gflops,
+            }
+        })
+        .collect();
+
+    Ok(ScalingResult {
+        study: study.clone(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study(model: ProgModel) -> ScalingStudy {
+        ScalingStudy::pow2(Arch::Epyc7A53, model, Precision::Double, 4096)
+    }
+
+    #[test]
+    fn pow2_sweep_ends_at_core_count() {
+        let s = study(ProgModel::COpenMp);
+        assert_eq!(*s.thread_counts.first().unwrap(), 1);
+        assert_eq!(*s.thread_counts.last().unwrap(), 64);
+    }
+
+    #[test]
+    fn throughput_is_monotone_in_threads() {
+        let r = run_scaling(&study(ProgModel::COpenMp)).unwrap();
+        for w in r.points.windows(2) {
+            assert!(
+                w[1].gflops >= w[0].gflops * 0.999,
+                "throughput dropped: {:?}",
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_saturates_at_the_bandwidth_wall() {
+        // A streaming kernel stops scaling once the shared LLC/DRAM
+        // bandwidth is saturated: efficiency at 64 threads is well below
+        // 1.
+        let r = run_scaling(&study(ProgModel::COpenMp)).unwrap();
+        let eff64 = r.parallel_efficiency(64).unwrap();
+        let eff2 = r.parallel_efficiency(2).unwrap();
+        assert!(eff2 > 0.9, "near-linear at small teams: {eff2}");
+        assert!(eff64 < 0.7, "bandwidth wall expected: {eff64}");
+        assert!(r.speedup(64).unwrap() > 4.0, "still substantial speedup");
+    }
+
+    #[test]
+    fn julia_scales_like_openmp_numba_scales_worse() {
+        let omp = run_scaling(&study(ProgModel::COpenMp)).unwrap();
+        let julia = run_scaling(&study(ProgModel::JuliaThreads)).unwrap();
+        let numba = run_scaling(&study(ProgModel::NumbaParallel)).unwrap();
+        let last = |r: &ScalingResult| r.points.last().unwrap().gflops;
+        assert!(last(&julia) > 0.85 * last(&omp));
+        assert!(last(&numba) < 0.65 * last(&omp));
+    }
+
+    #[test]
+    fn gpu_arch_is_rejected() {
+        let s = ScalingStudy::pow2(Arch::A100, ProgModel::Cuda, Precision::Double, 4096);
+        assert!(run_scaling(&s).is_err());
+    }
+
+    #[test]
+    fn unsupported_model_is_rejected() {
+        let s = ScalingStudy {
+            arch: Arch::Epyc7A53,
+            model: ProgModel::COpenMp,
+            precision: Precision::Half,
+            n: 1024,
+            thread_counts: vec![1, 2],
+        };
+        assert!(matches!(run_scaling(&s), Err(RunError::Unsupported { .. })));
+    }
+}

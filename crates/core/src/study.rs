@@ -1,0 +1,233 @@
+//! The study registry: one spec per paper artifact.
+
+use crate::experiment::{Experiment, ExperimentResult, RunError};
+use crate::runner::run_experiment;
+use perfport_machines::Precision;
+use perfport_models::{Arch, ProgModel};
+
+/// Sweep configuration shared by all artifacts.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Matrix sizes for the CPU figures (Figs. 4–5).
+    pub cpu_sizes: Vec<usize>,
+    /// Matrix sizes for the GPU figures (Figs. 6–7); the paper's appendix
+    /// sweeps 4096..20480.
+    pub gpu_sizes: Vec<usize>,
+    /// Timed repetitions per size.
+    pub reps: usize,
+    /// Base seed for inputs and noise.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            cpu_sizes: vec![512, 1024, 2048, 4096, 6144, 8192],
+            gpu_sizes: vec![4096, 6144, 8192, 10240, 12288, 14336, 16384, 18432, 20480],
+            reps: 5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for tests and quick demos.
+    pub fn quick() -> Self {
+        StudyConfig {
+            cpu_sizes: vec![1024, 4096],
+            gpu_sizes: vec![4096, 8192],
+            reps: 2,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The sweep sizes for an architecture.
+    pub fn sizes_for(&self, arch: Arch) -> &[usize] {
+        if arch.is_gpu() {
+            &self.gpu_sizes
+        } else {
+            &self.cpu_sizes
+        }
+    }
+}
+
+/// A figure (or sub-figure) of the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct FigureSpec {
+    /// Identifier, e.g. `"fig6b"`.
+    pub id: &'static str,
+    /// Caption paraphrase.
+    pub title: &'static str,
+    /// The architecture the figure measures.
+    pub arch: Arch,
+    /// The precision panel.
+    pub precision: Precision,
+    /// Curves, vendor reference first.
+    pub models: Vec<ProgModel>,
+}
+
+impl FigureSpec {
+    /// Builds the experiments behind this figure.
+    pub fn experiments(&self, cfg: &StudyConfig) -> Vec<Experiment> {
+        self.models
+            .iter()
+            .map(|&model| {
+                let mut e = Experiment::new(
+                    self.arch,
+                    model,
+                    self.precision,
+                    cfg.sizes_for(self.arch).to_vec(),
+                );
+                e.reps = cfg.reps;
+                e.seed = cfg.seed;
+                e
+            })
+            .collect()
+    }
+
+    /// Runs every curve, keeping unsupported models as errors (rendered
+    /// as gaps, exactly as the paper omits them).
+    pub fn run(&self, cfg: &StudyConfig) -> Vec<(ProgModel, Result<ExperimentResult, RunError>)> {
+        self.experiments(cfg)
+            .iter()
+            .map(|e| (e.model, run_experiment(e)))
+            .collect()
+    }
+}
+
+/// All eleven figure panels of the paper's evaluation (Figs. 4–7).
+pub fn figure_specs() -> Vec<FigureSpec> {
+    use Precision::*;
+    use ProgModel::*;
+    let cpu = |id, title, arch, precision| FigureSpec {
+        id,
+        title,
+        arch,
+        precision,
+        models: vec![COpenMp, KokkosOpenMp, JuliaThreads, NumbaParallel],
+    };
+    vec![
+        cpu("fig4a", "Crusher CPU GEMM, FP64, 64 threads / 4 NUMA", Arch::Epyc7A53, Double),
+        cpu("fig4b", "Crusher CPU GEMM, FP32, 64 threads / 4 NUMA", Arch::Epyc7A53, Single),
+        cpu("fig5a", "Wombat CPU GEMM, FP64, 80 threads", Arch::AmpereAltra, Double),
+        cpu("fig5b", "Wombat CPU GEMM, FP32, 80 threads", Arch::AmpereAltra, Single),
+        FigureSpec {
+            id: "fig5c",
+            title: "Wombat CPU GEMM, Julia FP16",
+            arch: Arch::AmpereAltra,
+            precision: Half,
+            models: vec![JuliaThreads],
+        },
+        FigureSpec {
+            id: "fig6a",
+            title: "Crusher MI250X GEMM, FP64, 32x32 blocks",
+            arch: Arch::Mi250x,
+            precision: Double,
+            models: vec![Hip, KokkosHip, JuliaAmdGpu],
+        },
+        FigureSpec {
+            id: "fig6b",
+            title: "Crusher MI250X GEMM, FP32, 32x32 blocks",
+            arch: Arch::Mi250x,
+            precision: Single,
+            models: vec![Hip, KokkosHip, JuliaAmdGpu],
+        },
+        FigureSpec {
+            id: "fig6c",
+            title: "Crusher MI250X GEMM, Julia FP16 inputs (FP32 store)",
+            arch: Arch::Mi250x,
+            precision: Half,
+            models: vec![JuliaAmdGpu],
+        },
+        FigureSpec {
+            id: "fig7a",
+            title: "Wombat A100 GEMM, FP64, 32x32 blocks",
+            arch: Arch::A100,
+            precision: Double,
+            models: vec![Cuda, KokkosCuda, JuliaCudaJl, NumbaCuda],
+        },
+        FigureSpec {
+            id: "fig7b",
+            title: "Wombat A100 GEMM, FP32, 32x32 blocks",
+            arch: Arch::A100,
+            precision: Single,
+            models: vec![Cuda, KokkosCuda, JuliaCudaJl, NumbaCuda],
+        },
+        FigureSpec {
+            id: "fig7c",
+            title: "Wombat A100 GEMM, FP16 (Julia and Numba)",
+            arch: Arch::A100,
+            precision: Half,
+            models: vec![JuliaCudaJl, NumbaCuda],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_panels_are_registered() {
+        let specs = figure_specs();
+        assert_eq!(specs.len(), 11);
+        let ids: Vec<_> = specs.iter().map(|s| s.id).collect();
+        for id in ["fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
+                   "fig7a", "fig7b", "fig7c"] {
+            assert!(ids.contains(&id), "{id} missing");
+        }
+    }
+
+    #[test]
+    fn specs_lead_with_the_vendor_reference() {
+        for spec in figure_specs() {
+            let first = spec.models[0];
+            // FP16 panels have no vendor curve (unsupported), so skip.
+            if spec.precision != Precision::Half {
+                assert_eq!(first, ProgModel::vendor_reference(spec.arch), "{}", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn experiments_inherit_the_config() {
+        let cfg = StudyConfig::quick();
+        let spec = &figure_specs()[0];
+        let exps = spec.experiments(&cfg);
+        assert_eq!(exps.len(), spec.models.len());
+        for e in &exps {
+            assert_eq!(e.sizes, cfg.cpu_sizes);
+            assert_eq!(e.reps, cfg.reps);
+        }
+    }
+
+    #[test]
+    fn sizes_dispatch_by_device() {
+        let cfg = StudyConfig::default();
+        assert_eq!(cfg.sizes_for(Arch::Epyc7A53), cfg.cpu_sizes.as_slice());
+        assert_eq!(cfg.sizes_for(Arch::A100), cfg.gpu_sizes.as_slice());
+        assert_eq!(*cfg.gpu_sizes.last().unwrap(), 20480);
+    }
+
+    #[test]
+    fn fig7a_runs_all_four_curves() {
+        let cfg = StudyConfig::quick();
+        let spec = figure_specs()
+            .into_iter()
+            .find(|s| s.id == "fig7a")
+            .unwrap();
+        let rows = spec.run(&cfg);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|(_, r)| r.is_ok()));
+    }
+
+    #[test]
+    fn fig6_panels_omit_numba() {
+        // Numba is absent from the MI250X figures (deprecated backend).
+        for spec in figure_specs() {
+            if spec.arch == Arch::Mi250x {
+                assert!(!spec.models.contains(&ProgModel::NumbaCuda), "{}", spec.id);
+            }
+        }
+    }
+}

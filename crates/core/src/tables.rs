@@ -1,0 +1,184 @@
+//! Rendering: ASCII figures/tables and CSV, as the bench binaries print
+//! them.
+
+use crate::analysis::EfficiencyReport;
+use crate::experiment::{ExperimentResult, RunError};
+use perfport_models::{ModelFamily, ProgModel};
+
+/// Renders a figure as an aligned text table: one row per matrix size,
+/// one column per model (GFLOP/s). Unsupported models render as `-`.
+pub fn render_figure(
+    title: &str,
+    rows: &[(ProgModel, Result<ExperimentResult, RunError>)],
+) -> String {
+    let sizes = rows
+        .iter()
+        .find_map(|(_, r)| r.as_ref().ok())
+        .map(|r| r.points.iter().map(|p| p.n).collect::<Vec<_>>())
+        .unwrap_or_default();
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>8}", "N"));
+    for (model, _) in rows {
+        out.push_str(&format!("  {:>16}", model.name()));
+    }
+    out.push('\n');
+    for &n in &sizes {
+        out.push_str(&format!("{n:>8}"));
+        for (_, result) in rows {
+            match result {
+                Ok(r) => match r.at(n) {
+                    Some(p) => out.push_str(&format!("  {:>16.1}", p.gflops)),
+                    None => out.push_str(&format!("  {:>16}", "-")),
+                },
+                Err(_) => out.push_str(&format!("  {:>16}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    for (model, result) in rows {
+        if let Err(RunError::Unsupported { reason, .. }) = result {
+            out.push_str(&format!("  note: {} — {}\n", model.name(), reason));
+        }
+        if let Ok(r) = result {
+            if let Some(note) = &r.support_note {
+                out.push_str(&format!("  note: {} — {}\n", model.name(), note));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the same data as CSV (`n,model1,model2,...`; empty cells for
+/// unsupported models).
+pub fn render_csv(rows: &[(ProgModel, Result<ExperimentResult, RunError>)]) -> String {
+    let sizes = rows
+        .iter()
+        .find_map(|(_, r)| r.as_ref().ok())
+        .map(|r| r.points.iter().map(|p| p.n).collect::<Vec<_>>())
+        .unwrap_or_default();
+
+    let mut out = String::from("n");
+    for (model, _) in rows {
+        out.push(',');
+        out.push_str(model.name());
+    }
+    out.push('\n');
+    for &n in &sizes {
+        out.push_str(&n.to_string());
+        for (_, result) in rows {
+            out.push(',');
+            if let Ok(r) = result {
+                if let Some(p) = r.at(n) {
+                    out.push_str(&format!("{:.2}", p.gflops));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table III: per-architecture efficiencies and Φ_M per
+/// precision panel, plus the Pennycook PP extension column block.
+pub fn render_table3(reports: &[EfficiencyReport]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table III: Performance efficiency of Kokkos, Julia, and Python/Numba\n",
+    );
+    for report in reports {
+        out.push_str(&format!("\n  {} precision\n", report.precision));
+        out.push_str(&format!("  {:<16}", "Architecture"));
+        for f in ModelFamily::ALL {
+            out.push_str(&format!("  {:>14}", f.label()));
+        }
+        out.push('\n');
+        for platform in report.matrix.platforms() {
+            out.push_str(&format!("  e_{{{platform:<13}}}"));
+            for f in ModelFamily::ALL {
+                match report.matrix.get(platform, f.label()) {
+                    Some(e) => out.push_str(&format!("  {e:>14.3}")),
+                    None => out.push_str(&format!("  {:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("  {:<16}", "Phi_M"));
+        for f in ModelFamily::ALL {
+            out.push_str(&format!("  {:>14.3}", report.phi(f)));
+        }
+        out.push('\n');
+        out.push_str(&format!("  {:<16}", "PP (harmonic)"));
+        for f in ModelFamily::ALL {
+            out.push_str(&format!("  {:>14.3}", report.pennycook(f)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{figure_specs, StudyConfig};
+    use perfport_machines::Precision;
+
+    #[test]
+    fn figure_rendering_contains_all_models_and_sizes() {
+        let cfg = StudyConfig::quick();
+        let spec = figure_specs().into_iter().find(|s| s.id == "fig7a").unwrap();
+        let rows = spec.run(&cfg);
+        let text = render_figure(spec.title, &rows);
+        assert!(text.contains("CUDA"));
+        assert!(text.contains("Kokkos/CUDA"));
+        assert!(text.contains("Numba CUDA"));
+        assert!(text.contains("4096"));
+        assert!(text.contains("8192"));
+    }
+
+    #[test]
+    fn unsupported_models_render_as_dashes_with_a_note() {
+        let cfg = StudyConfig::quick();
+        // Force a figure containing Numba on MI250X.
+        let spec = crate::study::FigureSpec {
+            id: "test",
+            title: "MI250X with Numba",
+            arch: perfport_models::Arch::Mi250x,
+            precision: Precision::Double,
+            models: vec![ProgModel::Hip, ProgModel::NumbaCuda],
+        };
+        let rows = spec.run(&cfg);
+        let text = render_figure(spec.title, &rows);
+        assert!(text.contains('-'));
+        assert!(text.contains("deprecated"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let cfg = StudyConfig::quick();
+        let spec = figure_specs().into_iter().find(|s| s.id == "fig6a").unwrap();
+        let rows = spec.run(&cfg);
+        let csv = render_csv(&rows);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + cfg.gpu_sizes.len());
+        assert!(lines[0].starts_with("n,HIP,"));
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), rows.len());
+        }
+    }
+
+    #[test]
+    fn table3_rendering_has_both_aggregates() {
+        let cfg = StudyConfig::quick();
+        let reports = vec![crate::analysis::efficiency_table(Precision::Double, &cfg)];
+        let text = render_table3(&reports);
+        assert!(text.contains("Phi_M"));
+        assert!(text.contains("PP (harmonic)"));
+        assert!(text.contains("e_{A100"));
+        assert!(text.contains("FP64"));
+        // Numba's MI250X gap renders as a dash.
+        assert!(text.contains('-'));
+    }
+}

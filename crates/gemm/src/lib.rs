@@ -1,0 +1,40 @@
+//! Dense matrices and the paper's hand-rolled GEMM kernels.
+//!
+//! The study's workload is deliberately naive: `C += A · B` as a triple
+//! loop, written the way a domain scientist would while prototyping, once
+//! per programming model (Fig. 2 and Fig. 3 of the paper). This crate
+//! provides:
+//!
+//! * [`Matrix`] — a dense matrix with runtime [`Layout`] (row-major as in
+//!   NumPy/C, column-major as in Julia), because layout is exactly why the
+//!   per-model loop nests differ;
+//! * [`Scalar`] — the element abstraction covering `f64`, `f32`, and the
+//!   software [`perfport_half::F16`];
+//! * [`serial`] — all six loop orders plus a cache-blocked variant, used
+//!   as references and for ablations;
+//! * [`variants`] — one kernel per programming model, transcribing the
+//!   paper's Fig. 2 loop structures (OpenMP-C `ikj`, Kokkos row-lambda,
+//!   Julia `jli` column-major, Numba `prange` `ikj`);
+//! * [`parallel`] — the same variants executed on the
+//!   [`perfport_pool::ThreadPool`] work-sharing runtime;
+//! * [`verify`] — numerical verification against an `f64` reference.
+
+pub mod gpu;
+pub mod gpu_tiled;
+pub mod matrix;
+pub mod parallel;
+pub mod portable;
+pub mod scalar;
+pub mod serial;
+pub mod variants;
+pub mod verify;
+
+pub use gpu::{gpu_gemm, gpu_gemm_mixed, GpuVariant};
+pub use gpu_tiled::{gpu_gemm_tiled, TILE};
+pub use matrix::{Layout, Matrix};
+pub use parallel::{par_gemm, par_gemm_element_grid};
+pub use portable::{gemm_element, portable_gemm, Backend, BackendStats, GemmAccess};
+pub use scalar::Scalar;
+pub use serial::{gemm_flops, gemm_reference_f64, LoopOrder};
+pub use variants::CpuVariant;
+pub use verify::{max_abs_error, max_rel_error, verify_gemm, Tolerance};

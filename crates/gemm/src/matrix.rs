@@ -1,0 +1,318 @@
+//! Dense matrices with explicit storage layout.
+//!
+//! Storage order is a first-class citizen here because it is the reason
+//! the paper's per-model loop nests differ: NumPy and C default to
+//! row-major, Julia to column-major, and each hand-rolled kernel streams
+//! along the contiguous dimension of its host language.
+
+use crate::scalar::Scalar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Memory order of a [`Matrix`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// C / NumPy order: element `(i, j)` lives at `i * cols + j`.
+    #[default]
+    RowMajor,
+    /// Fortran / Julia order: element `(i, j)` lives at `j * rows + i`.
+    ColMajor,
+}
+
+impl Layout {
+    /// Linear index of `(i, j)` in a `rows × cols` matrix.
+    #[inline]
+    pub fn index(self, rows: usize, cols: usize, i: usize, j: usize) -> usize {
+        match self {
+            Layout::RowMajor => i * cols + j,
+            Layout::ColMajor => j * rows + i,
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::RowMajor => write!(f, "row-major"),
+            Layout::ColMajor => write!(f, "col-major"),
+        }
+    }
+}
+
+/// A dense `rows × cols` matrix in contiguous storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize, layout: Layout) -> Self {
+        Matrix {
+            rows,
+            cols,
+            layout,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// A matrix of ones — the fallback the paper uses for Numba FP16 where
+    /// random generation is unavailable.
+    pub fn ones(rows: usize, cols: usize, layout: Layout) -> Self {
+        Matrix {
+            rows,
+            cols,
+            layout,
+            data: vec![T::one(); rows * cols],
+        }
+    }
+
+    /// Builds a matrix from `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, layout: Layout, f: impl Fn(usize, usize) -> T) -> Self {
+        let mut m = Matrix::zeros(rows, cols, layout);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// A matrix of uniform `[0, 1)` samples from a deterministic seed —
+    /// the paper's input distribution, made reproducible.
+    pub fn random(rows: usize, cols: usize, layout: Layout, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|_| T::sample_uniform(&mut rng))
+            .collect();
+        Matrix {
+            rows,
+            cols,
+            layout,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage layout.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Linear index of `(i, j)` under this matrix's layout.
+    #[inline]
+    pub fn offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.layout.index(self.rows, self.cols, i, j)
+    }
+
+    /// Backing storage, in layout order.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable backing storage, in layout order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Returns the same matrix re-stored in `layout` (a copy when the
+    /// layout changes, element values unchanged).
+    pub fn to_layout(&self, layout: Layout) -> Matrix<T> {
+        if layout == self.layout {
+            return self.clone();
+        }
+        Matrix::from_fn(self.rows, self.cols, layout, |i, j| self[(i, j)])
+    }
+
+    /// Transposed copy (keeps the layout tag).
+    pub fn transposed(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, self.layout, |i, j| self[(j, i)])
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(T::zero());
+    }
+
+    /// Converts elementwise into another precision.
+    pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            layout: self.layout,
+            data: self.data.iter().map(|x| U::from_f64(x.to_f64())).collect(),
+        }
+    }
+
+    /// Largest absolute difference against another matrix of equal shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix<T>) -> f64 {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        let mut worst = 0.0f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let d = (self[(i, j)].to_f64() - other[(i, j)].to_f64()).abs();
+                if d > worst {
+                    worst = d;
+                }
+            }
+        }
+        worst
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &self.data[self.layout.index(self.rows, self.cols, i, j)]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        &mut self.data[self.layout.index(self.rows, self.cols, i, j)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfport_half::F16;
+
+    #[test]
+    fn layout_linearisation() {
+        assert_eq!(Layout::RowMajor.index(3, 4, 1, 2), 6);
+        assert_eq!(Layout::ColMajor.index(3, 4, 1, 2), 7);
+        assert_eq!(Layout::RowMajor.index(3, 4, 0, 0), 0);
+        assert_eq!(Layout::ColMajor.index(3, 4, 2, 3), 11);
+    }
+
+    #[test]
+    fn indexing_round_trips_in_both_layouts() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let m = Matrix::<f64>::from_fn(5, 7, layout, |i, j| (i * 100 + j) as f64);
+            for i in 0..5 {
+                for j in 0..7 {
+                    assert_eq!(m[(i, j)], (i * 100 + j) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_storage_is_row_contiguous() {
+        let m = Matrix::<f32>::from_fn(2, 3, Layout::RowMajor, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn col_major_storage_is_column_contiguous() {
+        let m = Matrix::<f32>::from_fn(2, 3, Layout::ColMajor, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m.as_slice(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn to_layout_preserves_values() {
+        let m = Matrix::<f64>::random(4, 6, Layout::RowMajor, 42);
+        let c = m.to_layout(Layout::ColMajor);
+        assert_eq!(c.layout(), Layout::ColMajor);
+        assert_eq!(m.max_abs_diff(&c.to_layout(Layout::RowMajor)), 0.0);
+        for i in 0..4 {
+            for j in 0..6 {
+                assert_eq!(m[(i, j)], c[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = Matrix::<f32>::random(8, 8, Layout::RowMajor, 7);
+        let b = Matrix::<f32>::random(8, 8, Layout::RowMajor, 7);
+        let c = Matrix::<f32>::random(8, 8, Layout::RowMajor, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.as_slice().iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn ones_and_zeros() {
+        let z = Matrix::<F16>::zeros(3, 3, Layout::RowMajor);
+        assert!(z.as_slice().iter().all(|x| x.to_f64() == 0.0));
+        let o = Matrix::<F16>::ones(3, 3, Layout::RowMajor);
+        assert!(o.as_slice().iter().all(|x| x.to_f64() == 1.0));
+    }
+
+    #[test]
+    fn transpose() {
+        let m = Matrix::<f64>::from_fn(2, 3, Layout::RowMajor, |i, j| (10 * i + j) as f64);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m[(i, j)], t[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn cast_between_precisions() {
+        let m = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |i, j| 0.5 + (i + j) as f64);
+        let h: Matrix<F16> = m.cast();
+        assert_eq!(h[(0, 0)].to_f64(), 0.5);
+        assert_eq!(h[(1, 1)].to_f64(), 2.5);
+        let back: Matrix<f64> = h.cast();
+        assert_eq!(m.max_abs_diff(&back), 0.0);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut m = Matrix::<f32>::random(3, 3, Layout::ColMajor, 1);
+        m.fill_zero();
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let m = Matrix::<f64>::zeros(2, 2, Layout::RowMajor);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    #[should_panic(expected = "row mismatch")]
+    fn diff_shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 2, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(3, 2, Layout::RowMajor);
+        let _ = a.max_abs_diff(&b);
+    }
+}

@@ -1,0 +1,303 @@
+//! Serial hand-rolled GEMM kernels: every loop order, a cache-blocked
+//! variant, and the `f64` reference used for verification.
+//!
+//! `C += A · B` with `A: m×k`, `B: k×n`, `C: m×n`. Nothing clever — the
+//! paper's entire premise is that the kernel is what a scientist writes in
+//! an afternoon, so optimisations stop at loop ordering and blocking.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Floating-point operations in one `C += A·B`: one multiply and one add
+/// per `(i, j, k)` triple — the figure the paper's GFLOPS are based on.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// The six orderings of the GEMM triple loop.
+///
+/// The names list the loops outermost-first; `i` indexes rows of `C`,
+/// `j` columns of `C`, and `k` the contraction dimension. Orderings with
+/// `j` innermost stream row-major `B`/`C` rows; orderings with `i`
+/// innermost stream column-major `A`/`C` columns; `ijk`/`jik` compute one
+/// dot product per element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopOrder {
+    /// Dot-product form, row-major friendly outer loops.
+    Ijk,
+    /// Row-streaming saxpy form (the C/OpenMP and Numba kernels).
+    Ikj,
+    /// Dot-product form, column-first outer loops.
+    Jik,
+    /// Column-streaming saxpy form (the Julia kernel, with `l` = `k`).
+    Jki,
+    /// `k` outermost, row streaming inner.
+    Kij,
+    /// `k` outermost, column streaming inner.
+    Kji,
+}
+
+impl LoopOrder {
+    /// All six orders, for ablation sweeps.
+    pub const ALL: [LoopOrder; 6] = [
+        LoopOrder::Ijk,
+        LoopOrder::Ikj,
+        LoopOrder::Jik,
+        LoopOrder::Jki,
+        LoopOrder::Kij,
+        LoopOrder::Kji,
+    ];
+
+    /// Lower-case name, e.g. `"ikj"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoopOrder::Ijk => "ijk",
+            LoopOrder::Ikj => "ikj",
+            LoopOrder::Jik => "jik",
+            LoopOrder::Jki => "jki",
+            LoopOrder::Kij => "kij",
+            LoopOrder::Kji => "kji",
+        }
+    }
+}
+
+fn check_shapes<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &Matrix<T>) -> (usize, usize, usize) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(a.rows(), c.rows(), "C rows must match A rows");
+    assert_eq!(b.cols(), c.cols(), "C cols must match B cols");
+    (a.rows(), b.cols(), a.cols())
+}
+
+/// Runs `C += A · B` with the given loop order. Works for any layout
+/// combination; cache behaviour (not correctness) depends on how order and
+/// layout align.
+pub fn gemm_loop_order<T: Scalar>(
+    order: LoopOrder,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+) {
+    let (m, n, k) = check_shapes(a, b, c);
+    match order {
+        LoopOrder::Ijk => {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = c[(i, j)];
+                    for l in 0..k {
+                        acc += a[(i, l)] * b[(l, j)];
+                    }
+                    c[(i, j)] = acc;
+                }
+            }
+        }
+        LoopOrder::Ikj => {
+            for i in 0..m {
+                for l in 0..k {
+                    let t = a[(i, l)];
+                    for j in 0..n {
+                        c[(i, j)] += t * b[(l, j)];
+                    }
+                }
+            }
+        }
+        LoopOrder::Jik => {
+            for j in 0..n {
+                for i in 0..m {
+                    let mut acc = c[(i, j)];
+                    for l in 0..k {
+                        acc += a[(i, l)] * b[(l, j)];
+                    }
+                    c[(i, j)] = acc;
+                }
+            }
+        }
+        LoopOrder::Jki => {
+            for j in 0..n {
+                for l in 0..k {
+                    let t = b[(l, j)];
+                    for i in 0..m {
+                        c[(i, j)] += t * a[(i, l)];
+                    }
+                }
+            }
+        }
+        LoopOrder::Kij => {
+            for l in 0..k {
+                for i in 0..m {
+                    let t = a[(i, l)];
+                    for j in 0..n {
+                        c[(i, j)] += t * b[(l, j)];
+                    }
+                }
+            }
+        }
+        LoopOrder::Kji => {
+            for l in 0..k {
+                for j in 0..n {
+                    let t = b[(l, j)];
+                    for i in 0..m {
+                        c[(i, j)] += t * a[(i, l)];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked `C += A · B` with square tiles of `tile` elements per
+/// side. Used by the tiling ablation; the paper's kernels are unblocked.
+pub fn gemm_blocked<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &mut Matrix<T>, tile: usize) {
+    assert!(tile > 0, "tile must be positive");
+    let (m, n, k) = check_shapes(a, b, c);
+    for i0 in (0..m).step_by(tile) {
+        let i1 = (i0 + tile).min(m);
+        for l0 in (0..k).step_by(tile) {
+            let l1 = (l0 + tile).min(k);
+            for j0 in (0..n).step_by(tile) {
+                let j1 = (j0 + tile).min(n);
+                for i in i0..i1 {
+                    for l in l0..l1 {
+                        let t = a[(i, l)];
+                        for j in j0..j1 {
+                            c[(i, j)] += t * b[(l, j)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes `A · B` exactly once in `f64` accumulation — the numerical
+/// reference every kernel (CPU and simulated GPU) is verified against.
+pub fn gemm_reference_f64<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<f64> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, n, k) = (a.rows(), b.cols(), a.cols());
+    let mut c = Matrix::<f64>::zeros(m, n, a.layout());
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for l in 0..k {
+                acc += a[(i, l)].to_f64() * b[(l, j)].to_f64();
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+    use perfport_half::F16;
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+        assert_eq!(gemm_flops(1024, 1024, 1024), 2 * 1024u64.pow(3));
+        assert_eq!(gemm_flops(0, 5, 5), 0);
+    }
+
+    #[test]
+    fn loop_order_names() {
+        let names: Vec<_> = LoopOrder::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names, vec!["ijk", "ikj", "jik", "jki", "kij", "kji"]);
+    }
+
+    #[test]
+    fn all_orders_agree_with_reference_f64() {
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let a = Matrix::<f64>::random(13, 9, layout, 1);
+            let b = Matrix::<f64>::random(9, 11, layout, 2);
+            let reference = gemm_reference_f64(&a, &b);
+            for order in LoopOrder::ALL {
+                let mut c = Matrix::<f64>::zeros(13, 11, layout);
+                gemm_loop_order(order, &a, &b, &mut c);
+                assert!(
+                    c.max_abs_diff(&reference) < 1e-12,
+                    "{} diverged in {layout}",
+                    order.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orders_agree_in_f32_within_tolerance() {
+        let a = Matrix::<f32>::random(16, 16, Layout::RowMajor, 3);
+        let b = Matrix::<f32>::random(16, 16, Layout::RowMajor, 4);
+        let reference = gemm_reference_f64(&a, &b);
+        for order in LoopOrder::ALL {
+            let mut c = Matrix::<f32>::zeros(16, 16, Layout::RowMajor);
+            gemm_loop_order(order, &a, &b, &mut c);
+            let cast: Matrix<f64> = c.cast();
+            assert!(cast.max_abs_diff(&reference) < 1e-4, "{}", order.name());
+        }
+    }
+
+    #[test]
+    fn f16_gemm_small_exact() {
+        // With small integer values everything is exact even in half.
+        let a = Matrix::<F16>::from_fn(3, 3, Layout::RowMajor, |i, j| {
+            F16::from_f64((i + j) as f64)
+        });
+        let b = Matrix::<F16>::from_fn(3, 3, Layout::RowMajor, |i, j| {
+            F16::from_f64((i * 3 + j) as f64 % 4.0)
+        });
+        let reference = gemm_reference_f64(&a, &b);
+        let mut c = Matrix::<F16>::zeros(3, 3, Layout::RowMajor);
+        gemm_loop_order(LoopOrder::Ikj, &a, &b, &mut c);
+        let cast: Matrix<f64> = c.cast();
+        assert_eq!(cast.max_abs_diff(&reference), 0.0);
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |_, _| 1.0);
+        let b = a.clone();
+        let mut c = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |_, _| 10.0);
+        gemm_loop_order(LoopOrder::Ijk, &a, &b, &mut c);
+        // C = 10 + 2 everywhere.
+        assert!(c.as_slice().iter().all(|&x| x == 12.0));
+    }
+
+    #[test]
+    fn blocked_matches_reference_for_all_tiles() {
+        let a = Matrix::<f64>::random(20, 17, Layout::RowMajor, 5);
+        let b = Matrix::<f64>::random(17, 23, Layout::RowMajor, 6);
+        let reference = gemm_reference_f64(&a, &b);
+        for tile in [1, 2, 3, 7, 8, 16, 64] {
+            let mut c = Matrix::<f64>::zeros(20, 23, Layout::RowMajor);
+            gemm_blocked(&a, &b, &mut c, tile);
+            assert!(c.max_abs_diff(&reference) < 1e-12, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Matrix::<f64>::random(1, 50, Layout::RowMajor, 7);
+        let b = Matrix::<f64>::random(50, 2, Layout::RowMajor, 8);
+        let reference = gemm_reference_f64(&a, &b);
+        let mut c = Matrix::<f64>::zeros(1, 2, Layout::RowMajor);
+        gemm_loop_order(LoopOrder::Jki, &a, &b, &mut c);
+        assert!(c.max_abs_diff(&reference) < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrices_are_noops() {
+        let a = Matrix::<f64>::zeros(0, 5, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(5, 0, Layout::RowMajor);
+        let mut c = Matrix::<f64>::zeros(0, 0, Layout::RowMajor);
+        gemm_loop_order(LoopOrder::Ikj, &a, &b, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(4, 2, Layout::RowMajor);
+        let mut c = Matrix::<f64>::zeros(2, 2, Layout::RowMajor);
+        gemm_loop_order(LoopOrder::Ijk, &a, &b, &mut c);
+    }
+}

@@ -1,0 +1,187 @@
+//! Numerical verification of GEMM results against the `f64` reference.
+//!
+//! Every experiment in `perfport-core` verifies its kernel functionally
+//! before any timing is modelled, at a tolerance derived from the element
+//! precision and the length of the contraction (a standard forward error
+//! bound for recursive summation: `|err| <= k · u · |A||B|`).
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::serial::gemm_reference_f64;
+
+/// An absolute + relative tolerance pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute error floor.
+    pub abs: f64,
+    /// Relative error bound against the reference magnitude.
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// Forward error bound for a `k`-term contraction at precision `T`:
+    /// `rel = k * u` with unit roundoff `u = 2^-mantissa_digits`, clamped
+    /// to sane floors. Inputs in `[0,1)` keep magnitudes near `k/4`, so an
+    /// absolute floor of `k * u` also holds.
+    pub fn for_gemm<T: Scalar>(k: usize) -> Tolerance {
+        let u = 2.0f64.powi(-(T::MANTISSA_DIGITS as i32));
+        let bound = (k.max(1) as f64) * u * 4.0;
+        Tolerance {
+            abs: bound.max(1e-14),
+            rel: bound.max(1e-14),
+        }
+    }
+
+    /// Checks a single value pair against the tolerance.
+    pub fn accepts(&self, got: f64, want: f64) -> bool {
+        let err = (got - want).abs();
+        err <= self.abs || err <= self.rel * want.abs()
+    }
+}
+
+/// Largest absolute elementwise error of `c` against `reference`.
+pub fn max_abs_error<T: Scalar>(c: &Matrix<T>, reference: &Matrix<f64>) -> f64 {
+    shape_check(c, reference);
+    let mut worst = 0.0f64;
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let err = (c[(i, j)].to_f64() - reference[(i, j)]).abs();
+            worst = worst.max(err);
+        }
+    }
+    worst
+}
+
+/// Largest relative elementwise error of `c` against `reference`
+/// (elements with zero reference use absolute error).
+pub fn max_rel_error<T: Scalar>(c: &Matrix<T>, reference: &Matrix<f64>) -> f64 {
+    shape_check(c, reference);
+    let mut worst = 0.0f64;
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let want = reference[(i, j)];
+            let err = (c[(i, j)].to_f64() - want).abs();
+            let rel = if want == 0.0 { err } else { err / want.abs() };
+            worst = worst.max(rel);
+        }
+    }
+    worst
+}
+
+/// Verifies `c ≈ A·B` at the precision-appropriate tolerance. Returns the
+/// observed maximum relative error on success.
+///
+/// # Errors
+///
+/// Returns a description of the first offending element when the check
+/// fails.
+pub fn verify_gemm<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &Matrix<T>,
+) -> Result<f64, String> {
+    let reference = gemm_reference_f64(a, b);
+    let tol = Tolerance::for_gemm::<T>(a.cols());
+    for i in 0..c.rows() {
+        for j in 0..c.cols() {
+            let got = c[(i, j)].to_f64();
+            let want = reference[(i, j)];
+            if !tol.accepts(got, want) {
+                return Err(format!(
+                    "C[{i},{j}] = {got} but reference is {want} (tol abs={}, rel={})",
+                    tol.abs, tol.rel
+                ));
+            }
+        }
+    }
+    Ok(max_rel_error(c, &reference))
+}
+
+fn shape_check<T: Scalar>(c: &Matrix<T>, reference: &Matrix<f64>) {
+    assert_eq!(c.rows(), reference.rows(), "row mismatch");
+    assert_eq!(c.cols(), reference.cols(), "col mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Layout;
+    use crate::serial::{gemm_loop_order, LoopOrder};
+    use crate::variants::CpuVariant;
+    use perfport_half::F16;
+
+    #[test]
+    fn tolerance_scales_with_k_and_precision() {
+        let t64 = Tolerance::for_gemm::<f64>(1000);
+        let t32 = Tolerance::for_gemm::<f32>(1000);
+        let t16 = Tolerance::for_gemm::<F16>(1000);
+        assert!(t64.rel < t32.rel);
+        assert!(t32.rel < t16.rel);
+        let small = Tolerance::for_gemm::<f32>(10);
+        let large = Tolerance::for_gemm::<f32>(10_000);
+        assert!(small.rel < large.rel);
+    }
+
+    #[test]
+    fn accepts_respects_both_bounds() {
+        let t = Tolerance { abs: 0.1, rel: 0.01 };
+        assert!(t.accepts(1.0, 1.05)); // within abs
+        assert!(t.accepts(100.4, 100.0)); // within rel
+        assert!(!t.accepts(100.0, 102.0)); // outside both
+    }
+
+    #[test]
+    fn correct_gemm_verifies_all_precisions() {
+        fn run<T: Scalar>(tag: &str) {
+            let a = Matrix::<T>::random(14, 10, Layout::RowMajor, 3);
+            let b = Matrix::<T>::random(10, 12, Layout::RowMajor, 4);
+            let mut c = Matrix::<T>::zeros(14, 12, Layout::RowMajor);
+            gemm_loop_order(LoopOrder::Ikj, &a, &b, &mut c);
+            verify_gemm(&a, &b, &c).unwrap_or_else(|e| panic!("{tag}: {e}"));
+        }
+        run::<f64>("f64");
+        run::<f32>("f32");
+        run::<F16>("f16");
+    }
+
+    #[test]
+    fn corrupted_result_is_rejected() {
+        let a = Matrix::<f64>::random(8, 8, Layout::RowMajor, 1);
+        let b = Matrix::<f64>::random(8, 8, Layout::RowMajor, 2);
+        let mut c = Matrix::<f64>::zeros(8, 8, Layout::RowMajor);
+        gemm_loop_order(LoopOrder::Ijk, &a, &b, &mut c);
+        c[(3, 4)] += 1.0;
+        let err = verify_gemm(&a, &b, &c).unwrap_err();
+        assert!(err.contains("C[3,4]"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn error_measures() {
+        let reference = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |_, _| 2.0);
+        let mut c = Matrix::<f64>::from_fn(2, 2, Layout::RowMajor, |_, _| 2.0);
+        c[(0, 1)] = 2.5;
+        assert_eq!(max_abs_error(&c, &reference), 0.5);
+        assert_eq!(max_rel_error(&c, &reference), 0.25);
+    }
+
+    #[test]
+    fn zero_reference_uses_absolute_error() {
+        let reference = Matrix::<f64>::zeros(1, 1, Layout::RowMajor);
+        let mut c = Matrix::<f64>::zeros(1, 1, Layout::RowMajor);
+        c[(0, 0)] = 1e-3;
+        assert_eq!(max_rel_error(&c, &reference), 1e-3);
+    }
+
+    #[test]
+    fn variant_kernels_pass_verification_f16_ones() {
+        // The paper's Numba FP16 case: matrices of ones; C = k exactly
+        // (until k exceeds the f16 integer range — 64 is safe).
+        let v = CpuVariant::NumbaPrange;
+        let a = Matrix::<F16>::ones(16, 64, Layout::RowMajor);
+        let b = Matrix::<F16>::ones(64, 16, Layout::RowMajor);
+        let mut c = Matrix::<F16>::zeros(16, 16, Layout::RowMajor);
+        v.run_serial(&a, &b, &mut c);
+        assert!(c.as_slice().iter().all(|x| x.to_f64() == 64.0));
+        verify_gemm(&a, &b, &c).unwrap();
+    }
+}

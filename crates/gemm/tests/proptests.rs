@@ -1,0 +1,112 @@
+//! Property-based tests for the GEMM kernels: algebraic identities that
+//! must hold for any shape, layout, loop order, and programming-model
+//! variant.
+
+use perfport_gemm::{
+    gemm_reference_f64, matrix::Layout, par_gemm, serial::gemm_loop_order,
+    serial::LoopOrder, CpuVariant, Matrix,
+};
+use perfport_pool::{Schedule, ThreadPool};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..24, 1usize..24, 1usize..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every loop order computes the same product (to f64 round-off).
+    #[test]
+    fn loop_orders_agree((m, k, n) in dims(), seed in 0u64..1000, col in proptest::bool::ANY) {
+        let layout = if col { Layout::ColMajor } else { Layout::RowMajor };
+        let a = Matrix::<f64>::random(m, k, layout, seed);
+        let b = Matrix::<f64>::random(k, n, layout, seed + 1);
+        let reference = gemm_reference_f64(&a, &b);
+        for order in LoopOrder::ALL {
+            let mut c = Matrix::<f64>::zeros(m, n, layout);
+            gemm_loop_order(order, &a, &b, &mut c);
+            prop_assert!(c.max_abs_diff(&reference) < 1e-10, "{}", order.name());
+        }
+    }
+
+    /// A · I == A for every model variant.
+    #[test]
+    fn identity_is_neutral((m, k, _) in dims(), seed in 0u64..1000) {
+        for v in CpuVariant::ALL {
+            let layout = v.layout();
+            let a = Matrix::<f64>::random(m, k, layout, seed);
+            let eye = Matrix::<f64>::from_fn(k, k, layout, |i, j| {
+                if i == j { 1.0 } else { 0.0 }
+            });
+            let mut c = Matrix::<f64>::zeros(m, k, layout);
+            v.run_serial(&a, &eye, &mut c);
+            prop_assert!(c.max_abs_diff(&a) < 1e-12, "{v}");
+        }
+    }
+
+    /// Multiplying by zero leaves C unchanged (accumulate semantics).
+    #[test]
+    fn zero_product_preserves_c((m, k, n) in dims(), seed in 0u64..1000) {
+        let a = Matrix::<f64>::zeros(m, k, Layout::RowMajor);
+        let b = Matrix::<f64>::random(k, n, Layout::RowMajor, seed);
+        let mut c = Matrix::<f64>::random(m, n, Layout::RowMajor, seed + 2);
+        let before = c.clone();
+        CpuVariant::OpenMpC.run_serial(&a, &b, &mut c);
+        prop_assert_eq!(c, before);
+    }
+
+    /// All four model variants compute the same product.
+    #[test]
+    fn variants_agree((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut results = Vec::new();
+        for v in CpuVariant::ALL {
+            let layout = v.layout();
+            let a = Matrix::<f64>::random(m, k, Layout::RowMajor, seed).to_layout(layout);
+            let b = Matrix::<f64>::random(k, n, Layout::RowMajor, seed + 1).to_layout(layout);
+            let mut c = Matrix::<f64>::zeros(m, n, layout);
+            v.run_serial(&a, &b, &mut c);
+            results.push(c.to_layout(Layout::RowMajor));
+        }
+        for r in &results[1..] {
+            prop_assert!(results[0].max_abs_diff(r) < 1e-10);
+        }
+    }
+
+    /// Parallel execution equals serial execution bit-for-bit, regardless
+    /// of team size and schedule.
+    #[test]
+    fn parallel_equals_serial(
+        (m, k, n) in dims(),
+        seed in 0u64..1000,
+        threads in 1usize..6,
+        dynamic in proptest::bool::ANY,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let schedule = if dynamic {
+            Schedule::Dynamic { chunk: 2 }
+        } else {
+            Schedule::StaticBlock
+        };
+        for v in [CpuVariant::OpenMpC, CpuVariant::JuliaThreads] {
+            let layout = v.layout();
+            let a = Matrix::<f64>::random(m, k, layout, seed);
+            let b = Matrix::<f64>::random(k, n, layout, seed + 1);
+            let mut serial = Matrix::<f64>::zeros(m, n, layout);
+            v.run_serial(&a, &b, &mut serial);
+            let mut par = Matrix::<f64>::zeros(m, n, layout);
+            par_gemm(&pool, v, &a, &b, &mut par, schedule);
+            prop_assert_eq!(&serial, &par, "{} not deterministic", v);
+        }
+    }
+
+    /// (A·B)ᵀ == Bᵀ·Aᵀ — transpose identity through the reference kernel.
+    #[test]
+    fn transpose_identity((m, k, n) in dims(), seed in 0u64..1000) {
+        let a = Matrix::<f64>::random(m, k, Layout::RowMajor, seed);
+        let b = Matrix::<f64>::random(k, n, Layout::RowMajor, seed + 1);
+        let ab_t = gemm_reference_f64(&a, &b).transposed();
+        let bt_at = gemm_reference_f64(&b.transposed(), &a.transposed());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-10);
+    }
+}

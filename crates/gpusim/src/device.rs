@@ -1,0 +1,123 @@
+//! Execution-semantics description of a simulated device.
+//!
+//! This is the part of a GPU that affects *what the counters mean*:
+//! warp/wavefront width, memory transaction granularity, and launch
+//! limits. Throughput numbers (peak flops, bandwidth) live in
+//! `perfport-machines`, which pairs one of these device classes with a
+//! performance envelope.
+
+use std::fmt;
+
+/// The SIMT execution class of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// NVIDIA-style: 32-wide warps, 128-byte L1 transactions (e.g. A100).
+    NvidiaLike,
+    /// AMD CDNA-style: 64-wide wavefronts, 64-byte transactions
+    /// (e.g. MI250X).
+    AmdLike,
+}
+
+impl DeviceClass {
+    /// Threads per warp (NVIDIA) / wavefront (AMD).
+    pub fn warp_size(&self) -> u32 {
+        match self {
+            DeviceClass::NvidiaLike => 32,
+            DeviceClass::AmdLike => 64,
+        }
+    }
+
+    /// Bytes per global-memory transaction (cache-line granularity used
+    /// for the coalescing analysis).
+    pub fn transaction_bytes(&self) -> u64 {
+        match self {
+            DeviceClass::NvidiaLike => 128,
+            DeviceClass::AmdLike => 64,
+        }
+    }
+
+    /// Maximum threads per block.
+    pub fn max_threads_per_block(&self) -> u32 {
+        1024
+    }
+
+    /// Maximum threads resident per SM / CU.
+    pub fn max_threads_per_sm(&self) -> u32 {
+        match self {
+            DeviceClass::NvidiaLike => 2048,
+            DeviceClass::AmdLike => 2048,
+        }
+    }
+
+    /// Maximum resident blocks per SM / CU.
+    pub fn max_blocks_per_sm(&self) -> u32 {
+        32
+    }
+
+    /// Shared memory (LDS on AMD) per block, bytes.
+    pub fn max_shared_mem_per_block(&self) -> u64 {
+        match self {
+            DeviceClass::NvidiaLike => 48 * 1024,
+            DeviceClass::AmdLike => 64 * 1024,
+        }
+    }
+
+    /// Shared memory per SM / CU, bytes (limits occupancy).
+    pub fn shared_mem_per_sm(&self) -> u64 {
+        match self {
+            DeviceClass::NvidiaLike => 164 * 1024, // A100 configurable carve-out
+            DeviceClass::AmdLike => 64 * 1024,
+        }
+    }
+
+    /// The vendor's name for a group of lockstep lanes.
+    pub fn lane_group_name(&self) -> &'static str {
+        match self {
+            DeviceClass::NvidiaLike => "warp",
+            DeviceClass::AmdLike => "wavefront",
+        }
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::NvidiaLike => write!(f, "nvidia-like"),
+            DeviceClass::AmdLike => write!(f, "amd-like"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_widths_match_vendors() {
+        assert_eq!(DeviceClass::NvidiaLike.warp_size(), 32);
+        assert_eq!(DeviceClass::AmdLike.warp_size(), 64);
+    }
+
+    #[test]
+    fn transaction_granularity() {
+        assert_eq!(DeviceClass::NvidiaLike.transaction_bytes(), 128);
+        assert_eq!(DeviceClass::AmdLike.transaction_bytes(), 64);
+    }
+
+    #[test]
+    fn limits_are_sane() {
+        for d in [DeviceClass::NvidiaLike, DeviceClass::AmdLike] {
+            assert!(d.max_threads_per_block() >= 1024);
+            assert!(d.max_threads_per_sm() >= d.max_threads_per_block());
+            assert!(d.max_shared_mem_per_block() > 0);
+            assert!(d.shared_mem_per_sm() >= d.max_shared_mem_per_block());
+        }
+    }
+
+    #[test]
+    fn naming() {
+        assert_eq!(DeviceClass::NvidiaLike.lane_group_name(), "warp");
+        assert_eq!(DeviceClass::AmdLike.lane_group_name(), "wavefront");
+        assert_eq!(DeviceClass::AmdLike.to_string(), "amd-like");
+    }
+}

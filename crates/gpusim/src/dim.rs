@@ -1,0 +1,140 @@
+//! Grid and block dimensions with CUDA-compatible semantics.
+
+use std::fmt;
+
+/// A three-component extent or index, `x` varying fastest — exactly
+/// CUDA's `dim3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Fastest-varying component.
+    pub x: u32,
+    /// Middle component.
+    pub y: u32,
+    /// Slowest-varying component.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A 1-D extent `(x, 1, 1)`.
+    pub const fn d1(x: u32) -> Self {
+        Dim3 { x, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(x, y, 1)`.
+    pub const fn d2(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// A 3-D extent.
+    pub const fn d3(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// A 1-D *index* `(x, 0, 0)` — unlike [`Dim3::d1`], unused components
+    /// are zero because indices are positions, not extents.
+    pub const fn at1(x: u32) -> Self {
+        Dim3 { x, y: 0, z: 0 }
+    }
+
+    /// A 2-D *index* `(x, y, 0)`.
+    pub const fn at2(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 0 }
+    }
+
+    /// Product of the components.
+    pub fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Linearises an index within this extent (`x` fastest — the CUDA
+    /// thread numbering used for warp formation).
+    pub fn linear(&self, idx: Dim3) -> u64 {
+        debug_assert!(idx.x < self.x && idx.y < self.y && idx.z < self.z);
+        (idx.z as u64 * self.y as u64 + idx.y as u64) * self.x as u64 + idx.x as u64
+    }
+
+    /// Inverse of [`Dim3::linear`].
+    pub fn delinearize(&self, linear: u64) -> Dim3 {
+        debug_assert!(linear < self.count());
+        let x = (linear % self.x as u64) as u32;
+        let rest = linear / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Dim3 { x, y, z }
+    }
+
+    /// Iterates all indices in linear order.
+    pub fn iter(&self) -> impl Iterator<Item = Dim3> + '_ {
+        (0..self.count()).map(move |l| self.delinearize(l))
+    }
+
+    /// Ceil-divides a problem extent by a block extent — the usual grid
+    /// sizing idiom `(n + block - 1) / block` per component.
+    pub fn cover(problem: Dim3, block: Dim3) -> Dim3 {
+        assert!(block.count() > 0, "block must be non-empty");
+        Dim3 {
+            x: problem.x.div_ceil(block.x.max(1)),
+            y: problem.y.div_ceil(block.y.max(1)),
+            z: problem.z.div_ceil(block.z.max(1)),
+        }
+    }
+}
+
+impl fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Dim3::d1(5), Dim3 { x: 5, y: 1, z: 1 });
+        assert_eq!(Dim3::d2(3, 4), Dim3 { x: 3, y: 4, z: 1 });
+        assert_eq!(Dim3::d3(2, 3, 4).count(), 24);
+    }
+
+    #[test]
+    fn linearisation_round_trips() {
+        let ext = Dim3::d3(5, 7, 3);
+        for l in 0..ext.count() {
+            let idx = ext.delinearize(l);
+            assert_eq!(ext.linear(idx), l);
+        }
+    }
+
+    #[test]
+    fn x_varies_fastest() {
+        let ext = Dim3::d2(4, 4);
+        assert_eq!(ext.linear(Dim3::at2(1, 0)), 1);
+        assert_eq!(ext.linear(Dim3::at2(0, 1)), 4);
+        let idx = ext.delinearize(5);
+        assert_eq!(idx, Dim3::at2(1, 1));
+    }
+
+    #[test]
+    fn iter_visits_all_in_order() {
+        let ext = Dim3::d2(2, 2);
+        let all: Vec<Dim3> = ext.iter().collect();
+        assert_eq!(
+            all,
+            vec![Dim3::at2(0, 0), Dim3::at2(1, 0), Dim3::at2(0, 1), Dim3::at2(1, 1)]
+        );
+    }
+
+    #[test]
+    fn cover_rounds_up() {
+        let grid = Dim3::cover(Dim3::d2(100, 65), Dim3::d2(32, 32));
+        assert_eq!(grid, Dim3::d2(4, 3));
+        // Exact fit does not over-allocate.
+        assert_eq!(Dim3::cover(Dim3::d2(64, 64), Dim3::d2(32, 32)), Dim3::d2(2, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dim3::d3(1, 2, 3).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,128 @@
+//! The classic occupancy calculation: how many blocks fit on one SM/CU.
+//!
+//! The paper repeatedly attributes performance gaps (Kokkos on A100 in
+//! particular) to block-size and configuration choices the programming
+//! model makes on the user's behalf; occupancy is the standard lens for
+//! that discussion, and the GPU timing model consumes it.
+
+use crate::device::DeviceClass;
+
+/// What capped the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimiter {
+    /// Per-SM thread capacity.
+    Threads,
+    /// Per-SM resident-block cap.
+    Blocks,
+    /// Per-SM shared-memory capacity.
+    SharedMemory,
+}
+
+/// Result of an occupancy query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the SM's warp slots occupied, `0.0..=1.0`.
+    pub fraction: f64,
+    /// Which resource limited residency.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Computes achievable occupancy for a block of `block_threads` threads
+/// using `smem_per_block` bytes of shared memory.
+///
+/// # Panics
+///
+/// Panics if `block_threads` is zero or exceeds the device block limit.
+pub fn occupancy(class: DeviceClass, block_threads: u32, smem_per_block: u64) -> Occupancy {
+    assert!(block_threads > 0, "block must have threads");
+    assert!(
+        block_threads <= class.max_threads_per_block(),
+        "block exceeds device limit"
+    );
+
+    let by_threads = class.max_threads_per_sm() / block_threads;
+    let by_blocks = class.max_blocks_per_sm();
+    let by_smem = class
+        .shared_mem_per_sm()
+        .checked_div(smem_per_block)
+        .map_or(u32::MAX, |b| b as u32);
+
+    let blocks = by_threads.min(by_blocks).min(by_smem);
+    let limiter = if blocks == by_threads {
+        OccupancyLimiter::Threads
+    } else if blocks == by_blocks {
+        OccupancyLimiter::Blocks
+    } else {
+        OccupancyLimiter::SharedMemory
+    };
+
+    let warp = class.warp_size();
+    let warps_per_block = block_threads.div_ceil(warp);
+    let warps = blocks * warps_per_block;
+    let max_warps = class.max_threads_per_sm() / warp;
+    Occupancy {
+        blocks_per_sm: blocks,
+        warps_per_sm: warps,
+        fraction: f64::from(warps) / f64::from(max_warps),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_occupancy_with_1024_thread_blocks() {
+        let o = occupancy(DeviceClass::NvidiaLike, 1024, 0);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.warps_per_sm, 64);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+    }
+
+    #[test]
+    fn tiny_blocks_hit_the_block_cap() {
+        // 32-thread blocks: 2048/32 = 64 by threads, but only 32 resident
+        // blocks allowed -> half occupancy.
+        let o = occupancy(DeviceClass::NvidiaLike, 32, 0);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        assert!((o.fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_can_limit() {
+        // 40 KiB per block on an A100-like 164 KiB SM: 4 blocks of 256
+        // threads instead of 8.
+        let o = occupancy(DeviceClass::NvidiaLike, 256, 40 * 1024);
+        assert_eq!(o.blocks_per_sm, 4);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+        assert!(o.fraction < 1.0);
+    }
+
+    #[test]
+    fn amd_wavefronts() {
+        let o = occupancy(DeviceClass::AmdLike, 1024, 0);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.warps_per_sm, 32); // 64-wide wavefronts
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_fraction_monotone_in_block_size_when_block_limited() {
+        let small = occupancy(DeviceClass::NvidiaLike, 64, 0);
+        let large = occupancy(DeviceClass::NvidiaLike, 256, 0);
+        assert!(small.fraction <= large.fraction);
+    }
+
+    #[test]
+    #[should_panic(expected = "block must have threads")]
+    fn zero_block_panics() {
+        let _ = occupancy(DeviceClass::NvidiaLike, 0, 0);
+    }
+}

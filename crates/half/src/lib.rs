@@ -1,0 +1,38 @@
+//! Software IEEE 754 binary16 ("half precision") arithmetic.
+//!
+//! The paper studies FP16 support across programming models (Julia on AMD
+//! GPUs, Numba's missing `float16` random generation, Julia's maturing
+//! native FP16 on CPUs). None of the machines this reproduction runs on are
+//! guaranteed to have hardware half-precision, and stable Rust has no `f16`
+//! primitive, so this crate provides a bit-exact software implementation:
+//!
+//! * conversions to/from `f32`/`f64` with round-to-nearest-even,
+//! * subnormal, infinity, and NaN handling,
+//! * arithmetic implemented by converting through `f32` (the same strategy
+//!   used by production soft-half libraries and by LLVM's `__gnu_h2f_ieee`
+//!   lowering on hardware without native FP16),
+//! * deterministic uniform random generation mirroring what the paper's
+//!   Julia implementation supports (and Numba does not).
+//!
+//! The exported [`F16`] type implements enough of the numeric surface to be
+//! used as a GEMM scalar in `perfport-gemm` and as a device element type in
+//! `perfport-gpusim`.
+
+mod bits;
+mod f16;
+
+pub use bits::{f16_bits_to_f32, f32_to_f16_bits};
+pub use f16::F16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_surface_round_trip() {
+        let x = F16::from_f32(1.5);
+        assert_eq!(x.to_f32(), 1.5);
+        assert_eq!(F16::from_f32(f16_bits_to_f32(x.to_bits())), x);
+        assert_eq!(f32_to_f16_bits(1.5), x.to_bits());
+    }
+}

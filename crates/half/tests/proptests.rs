@@ -1,0 +1,109 @@
+//! Property-based tests for the software binary16 implementation.
+
+use perfport_half::{f16_bits_to_f32, f32_to_f16_bits, F16};
+use proptest::prelude::*;
+
+proptest! {
+    /// Widening then narrowing any finite f16 is the identity.
+    #[test]
+    fn widen_narrow_identity(bits in 0u16..=0xffff) {
+        let f = f16_bits_to_f32(bits);
+        prop_assume!(!f.is_nan());
+        prop_assert_eq!(f32_to_f16_bits(f), bits);
+    }
+
+    /// Narrowing is monotone: x <= y implies f16(x) <= f16(y).
+    #[test]
+    fn narrowing_is_monotone(a in -1e6f32..1e6, b in -1e6f32..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let fl = F16::from_f32(lo);
+        let fh = F16::from_f32(hi);
+        prop_assert!(fl <= fh, "{lo} -> {fl:?} vs {hi} -> {fh:?}");
+    }
+
+    /// The rounding error of narrowing is at most half an ulp of the result.
+    #[test]
+    fn narrowing_error_within_half_ulp(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x);
+        let back = h.to_f64();
+        // ulp at the magnitude of the result (use the wider neighbour gap
+        // at exponent boundaries to stay conservative).
+        let exp = back.abs().max(2.0f64.powi(-24)).log2().floor() as i32;
+        let ulp = 2.0f64.powf((exp - 10).max(-24) as f64);
+        prop_assert!((back - x as f64).abs() <= ulp, "x={x} h={back} ulp={ulp}");
+    }
+
+    /// Addition is commutative (bit-for-bit, finite inputs).
+    #[test]
+    fn addition_commutes(a in -200.0f32..200.0, b in -200.0f32..200.0) {
+        let (a, b) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!((a + b).to_bits(), (b + a).to_bits());
+    }
+
+    /// Multiplication is commutative (bit-for-bit, finite inputs).
+    #[test]
+    fn multiplication_commutes(a in -200.0f32..200.0, b in -200.0f32..200.0) {
+        let (a, b) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!((a * b).to_bits(), (b * a).to_bits());
+    }
+
+    /// x + 0 == x and x * 1 == x for all finite x (identity elements).
+    #[test]
+    fn identity_elements(bits in 0u16..=0xffff) {
+        let x = F16::from_bits(bits);
+        prop_assume!(x.is_finite());
+        prop_assert_eq!(x + F16::ZERO, x);
+        prop_assert_eq!(x * F16::ONE, x);
+    }
+
+    /// Negation is an involution and flips only the sign bit.
+    #[test]
+    fn negation_involution(bits in 0u16..=0xffff) {
+        let x = F16::from_bits(bits);
+        prop_assert_eq!((-(-x)).to_bits(), bits);
+        prop_assert_eq!((-x).to_bits(), bits ^ 0x8000);
+    }
+
+    /// Multiplication of f16 operands through f32 is exactly the correctly
+    /// rounded product (11-bit mantissas multiply exactly in f32's 24 bits).
+    #[test]
+    fn multiplication_correctly_rounded(a in 0u16..=0x7bff, b in 0u16..=0x7bff) {
+        let (x, y) = (F16::from_bits(a), F16::from_bits(b));
+        let got = x * y;
+        let exact = x.to_f64() * y.to_f64();
+        let expect = F16::from_f64(exact);
+        if got.is_nan() {
+            prop_assert!(expect.is_nan());
+        } else {
+            prop_assert_eq!(got.to_bits(), expect.to_bits());
+        }
+    }
+
+    /// abs() clears the sign and preserves magnitude.
+    #[test]
+    fn abs_properties(bits in 0u16..=0xffff) {
+        let x = F16::from_bits(bits);
+        let a = x.abs();
+        prop_assert!(!a.is_sign_negative());
+        prop_assert_eq!(a.to_bits(), bits & 0x7fff);
+    }
+
+    /// total_cmp is antisymmetric and consistent with PartialOrd on
+    /// comparable values.
+    #[test]
+    fn total_cmp_consistency(a in 0u16..=0xffff, b in 0u16..=0xffff) {
+        let (x, y) = (F16::from_bits(a), F16::from_bits(b));
+        prop_assert_eq!(x.total_cmp(y), y.total_cmp(x).reverse());
+        if let Some(ord) = x.partial_cmp(&y) {
+            if x.to_bits() != y.to_bits() && ord != std::cmp::Ordering::Equal {
+                prop_assert_eq!(x.total_cmp(y), ord);
+            }
+        }
+    }
+
+    /// from_f64 and from_f32 agree for values representable in f32.
+    #[test]
+    fn f64_path_matches_f32_path(x in -65000.0f32..65000.0) {
+        prop_assert_eq!(F16::from_f64(x as f64).to_bits(), F16::from_f32(x).to_bits());
+    }
+}

@@ -1,0 +1,69 @@
+//! Hardware descriptions and analytical timing models for the four
+//! node architectures of the paper:
+//!
+//! * **Crusher CPU** — AMD EPYC 7A53 "Trento", 64 cores over 4 NUMA
+//!   domains (Frontier's test bed),
+//! * **Wombat CPU** — Ampere Altra, 80 Arm Neoverse-N1 cores, 1 NUMA
+//!   domain,
+//! * **Crusher GPU** — AMD MI250X (modelled as a single GCD, which is how
+//!   a single-GPU job sees it),
+//! * **Wombat GPU** — NVIDIA A100.
+//!
+//! The timing models are hierarchical rooflines with explicit overhead
+//! terms. They consume *mechanistic inputs* — kernel flop/traffic
+//! profiles (from `perfport-gpusim` counters or analytic footprints),
+//! thread placement (from `perfport-pool`), occupancy, divergence, and
+//! the per-programming-model code-generation efficiency from
+//! `perfport-models` — and produce time/GFLOPS estimates whose *shape*
+//! over matrix size reproduces the paper's figures. See `DESIGN.md` for
+//! the substitution argument.
+
+pub mod cpu;
+pub mod cpu_model;
+pub mod gpu;
+pub mod gpu_model;
+pub mod precision;
+pub mod roofline;
+
+pub use cpu::CpuMachine;
+pub use cpu_model::{estimate_cpu_gemm, numa_locality, CpuExecution};
+pub use gpu::GpuMachine;
+pub use gpu_model::{estimate_gpu_kernel, GpuExecution, GpuKernelProfile};
+pub use precision::Precision;
+pub use roofline::{Bound, Estimate, Roofline};
+
+/// Square (or rectangular) GEMM problem shape: `C (m×n) += A (m×k) · B
+/// (k×n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmShape {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+    /// Contraction length.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Square `n×n×n` problem — the paper's sweep variable.
+    pub fn square(n: usize) -> Self {
+        GemmShape { m: n, n, k: n }
+    }
+
+    /// Total floating-point operations (`2·m·n·k`).
+    pub fn flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.n as f64 * self.k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_shape_flops() {
+        assert_eq!(GemmShape::square(10).flops(), 2000.0);
+        let s = GemmShape { m: 2, n: 3, k: 4 };
+        assert_eq!(s.flops(), 48.0);
+    }
+}

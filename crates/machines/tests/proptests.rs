@@ -1,0 +1,134 @@
+//! Property-based tests for the timing models: physical sanity laws that
+//! must hold for any workload and configuration.
+
+use perfport_machines::{
+    estimate_cpu_gemm, estimate_gpu_kernel, CpuExecution, CpuMachine, GemmShape, GpuExecution,
+    GpuKernelProfile, GpuMachine, Precision, Roofline,
+};
+use proptest::prelude::*;
+
+fn cpu_machines() -> Vec<CpuMachine> {
+    vec![CpuMachine::epyc_7a53(), CpuMachine::ampere_altra()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Estimates never exceed the machine's raw peak.
+    #[test]
+    fn cpu_never_beats_peak(n in 1usize..8192, threads in 1usize..128) {
+        for m in cpu_machines() {
+            let exec = CpuExecution { threads, ..CpuExecution::vendor_baseline(&m) };
+            let e = estimate_cpu_gemm(&m, Precision::Double, &GemmShape::square(n), &exec);
+            prop_assert!(e.gflops <= m.peak_gflops(Precision::Double) + 1e-9);
+            prop_assert!(e.seconds > 0.0);
+            prop_assert!(e.gflops.is_finite());
+        }
+    }
+
+    /// Time is monotone non-decreasing in problem size.
+    #[test]
+    fn cpu_time_monotone_in_size(n in 64usize..4096, delta in 1usize..2048) {
+        for m in cpu_machines() {
+            let exec = CpuExecution::vendor_baseline(&m);
+            let small = estimate_cpu_gemm(&m, Precision::Double, &GemmShape::square(n), &exec);
+            let big = estimate_cpu_gemm(&m, Precision::Double, &GemmShape::square(n + delta), &exec);
+            prop_assert!(big.seconds >= small.seconds);
+        }
+    }
+
+    /// Lower codegen efficiency never makes things faster.
+    #[test]
+    fn cpu_codegen_monotone(n in 64usize..4096, q in 0.1f64..1.0) {
+        let m = CpuMachine::epyc_7a53();
+        let mut exec = CpuExecution::vendor_baseline(&m);
+        let full = estimate_cpu_gemm(&m, Precision::Double, &GemmShape::square(n), &exec);
+        exec.codegen_efficiency = q;
+        let derated = estimate_cpu_gemm(&m, Precision::Double, &GemmShape::square(n), &exec);
+        prop_assert!(derated.gflops <= full.gflops * 1.000001);
+    }
+
+    /// Unpinning can only hurt (or leave unchanged on 1-NUMA machines).
+    #[test]
+    fn cpu_pinning_monotone(n in 64usize..4096) {
+        for m in cpu_machines() {
+            let shape = GemmShape::square(n);
+            let mut exec = CpuExecution::vendor_baseline(&m);
+            let pinned = estimate_cpu_gemm(&m, Precision::Double, &shape, &exec);
+            exec.pinned = false;
+            let unpinned = estimate_cpu_gemm(&m, Precision::Double, &shape, &exec);
+            prop_assert!(unpinned.gflops <= pinned.gflops * 1.000001);
+        }
+    }
+
+    /// GPU estimates respect the precision peak and improve (weakly) with
+    /// bandwidth.
+    #[test]
+    fn gpu_bounded_and_bandwidth_monotone(
+        flops in 1e6f64..1e13,
+        l1_ratio in 0.1f64..16.0,
+        dram_ratio in 0.01f64..4.0,
+    ) {
+        let profile = GpuKernelProfile {
+            flops,
+            l1_bytes: flops * l1_ratio,
+            dram_bytes: flops * dram_ratio,
+        };
+        let base = GpuMachine::a100();
+        let exec = GpuExecution::vendor_baseline(&base, 10_000, 2);
+        let e = estimate_gpu_kernel(&base, Precision::Double, &profile, &exec);
+        prop_assert!(e.gflops <= base.peak_gflops(Precision::Double) + 1e-9);
+
+        let mut faster = GpuMachine::a100();
+        faster.mem_bw_gbs *= 2.0;
+        let e2 = estimate_gpu_kernel(&faster, Precision::Double, &profile, &exec);
+        prop_assert!(e2.seconds <= e.seconds * 1.000001);
+    }
+
+    /// More divergence, lower occupancy, or lower codegen never speed a
+    /// kernel up.
+    #[test]
+    fn gpu_derates_monotone(
+        occ in 0.01f64..1.0,
+        div in 0.0f64..1.0,
+        q in 0.05f64..1.0,
+    ) {
+        let m = GpuMachine::mi250x_gcd();
+        let profile = GpuKernelProfile { flops: 1e12, l1_bytes: 8e12, dram_bytes: 3e11 };
+        let base = GpuExecution::vendor_baseline(&m, 100_000, 2);
+        let e0 = estimate_gpu_kernel(&m, Precision::Single, &profile, &base);
+        let worse = GpuExecution {
+            codegen_efficiency: q,
+            occupancy: occ,
+            divergence_rate: div,
+            ..base
+        };
+        let e1 = estimate_gpu_kernel(&m, Precision::Single, &profile, &worse);
+        prop_assert!(e1.gflops <= e0.gflops * 1.000001);
+    }
+
+    /// Roofline attainable is monotone in arithmetic intensity and capped
+    /// by peak.
+    #[test]
+    fn roofline_monotone(peak in 1.0f64..1e5, bw in 1.0f64..1e4, ai in 0.0f64..1e4) {
+        let r = Roofline { peak_gflops: peak, bw_gbs: bw };
+        let at = r.attainable(ai);
+        prop_assert!(at <= peak + 1e-9);
+        prop_assert!(at <= bw * ai + 1e-9 || ai == 0.0);
+        let more = r.attainable(ai * 2.0 + 1.0);
+        prop_assert!(more >= at);
+    }
+
+    /// GFLOPS and seconds are mutually consistent in every estimate.
+    #[test]
+    fn estimate_consistency(n in 32usize..4096) {
+        let m = CpuMachine::ampere_altra();
+        let shape = GemmShape::square(n);
+        let exec = CpuExecution::vendor_baseline(&m);
+        for p in [Precision::Double, Precision::Single, Precision::Half] {
+            let e = estimate_cpu_gemm(&m, p, &shape, &exec);
+            let implied = shape.flops() / e.seconds / 1e9;
+            prop_assert!((implied - e.gflops).abs() / e.gflops < 1e-9);
+        }
+    }
+}

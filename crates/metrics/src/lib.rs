@@ -1,0 +1,22 @@
+//! Performance-portability and productivity metrics (paper §V).
+//!
+//! * [`EfficiencyMatrix`] — per-(platform, model) performance
+//!   efficiencies `e_i(a)` relative to the platform's vendor model
+//!   (Eq. 2).
+//! * [`marowka_phi`] — the paper's Φ_M (Eq. 1): the *arithmetic* mean of
+//!   a model's efficiencies over the platform set, counting unsupported
+//!   platforms as zero (this is how the paper's Python/Numba Φ_M = 0.348
+//!   arises from `{0.550, 0.713, —, 0.130}`).
+//! * [`pennycook_pp`] — the original Pennycook–Sewall–Lee metric: the
+//!   *harmonic* mean over the platform set, defined to be 0 when any
+//!   platform in the set is unsupported. Comparing the two aggregations
+//!   is the paper's §V discussion, extended here as experiment A3.
+//! * [`productivity`] — source-code productivity measures (lines,
+//!   tokens, parallel-annotation count) for the paper's Fig. 2/3
+//!   snippets.
+
+pub mod efficiency;
+pub mod productivity;
+
+pub use efficiency::{marowka_phi, pennycook_pp, EfficiencyMatrix};
+pub use productivity::{productivity, Productivity};

@@ -1,0 +1,99 @@
+//! Property-based tests for the portability metrics.
+
+use perfport_metrics::{marowka_phi, pennycook_pp, EfficiencyMatrix};
+use proptest::prelude::*;
+
+fn effs() -> impl Strategy<Value = Vec<Option<f64>>> {
+    proptest::collection::vec(
+        proptest::option::weighted(0.8, 0.01f64..1.5),
+        1..8,
+    )
+}
+
+proptest! {
+    /// Φ_M lies between 0 and the maximum efficiency.
+    #[test]
+    fn phi_bounds(e in effs()) {
+        let phi = marowka_phi(&e);
+        let max = e.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+        prop_assert!(phi >= 0.0);
+        prop_assert!(phi <= max + 1e-12);
+    }
+
+    /// When every platform is supported, the harmonic mean never exceeds
+    /// the arithmetic mean (AM–HM inequality), with equality only for
+    /// uniform efficiencies.
+    #[test]
+    fn harmonic_below_arithmetic(values in proptest::collection::vec(0.01f64..1.5, 1..8)) {
+        let e: Vec<Option<f64>> = values.iter().copied().map(Some).collect();
+        let phi = marowka_phi(&e);
+        let pp = pennycook_pp(&e);
+        prop_assert!(pp <= phi + 1e-12, "PP {pp} > Phi {phi}");
+        let uniform = values.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-15);
+        if !uniform && values.len() > 1 {
+            prop_assert!(pp < phi + 1e-12);
+        }
+    }
+
+    /// Any unsupported platform zeroes PP but only dilutes Φ_M.
+    #[test]
+    fn missing_platform_effects(values in proptest::collection::vec(0.1f64..1.5, 2..8)) {
+        let mut e: Vec<Option<f64>> = values.iter().copied().map(Some).collect();
+        let full_phi = marowka_phi(&e);
+        e[0] = None;
+        prop_assert_eq!(pennycook_pp(&e), 0.0);
+        let diluted = marowka_phi(&e);
+        prop_assert!(diluted <= full_phi + 1e-12);
+        prop_assert!(diluted > 0.0);
+    }
+
+    /// Φ_M is permutation invariant.
+    #[test]
+    fn phi_permutation_invariant(e in effs(), rot in 0usize..8) {
+        let mut rotated = e.clone();
+        let len = rotated.len();
+        if len > 0 {
+            rotated.rotate_left(rot % len);
+        }
+        prop_assert!((marowka_phi(&e) - marowka_phi(&rotated)).abs() < 1e-12);
+        prop_assert!((pennycook_pp(&e) - pennycook_pp(&rotated)).abs() < 1e-12);
+    }
+
+    /// Adding a platform with efficiency equal to the current Φ leaves Φ
+    /// unchanged; adding a better one raises it.
+    #[test]
+    fn phi_responds_to_new_platforms(values in proptest::collection::vec(0.1f64..1.0, 1..6)) {
+        let e: Vec<Option<f64>> = values.iter().copied().map(Some).collect();
+        let phi = marowka_phi(&e);
+        let mut same = e.clone();
+        same.push(Some(phi));
+        prop_assert!((marowka_phi(&same) - phi).abs() < 1e-12);
+        let mut better = e.clone();
+        better.push(Some(phi + 0.3));
+        prop_assert!(marowka_phi(&better) > phi);
+    }
+
+    /// Matrix set/get round-trips and column extraction stays aligned.
+    #[test]
+    fn matrix_round_trip(
+        rows in 1usize..5,
+        cols in 1usize..4,
+        values in proptest::collection::vec(0.0f64..1.5, 20),
+    ) {
+        let platforms: Vec<String> = (0..rows).map(|i| format!("p{i}")).collect();
+        let models: Vec<String> = (0..cols).map(|i| format!("m{i}")).collect();
+        let mut mat = EfficiencyMatrix::new(platforms.clone(), models.clone());
+        let mut it = values.iter();
+        for p in &platforms {
+            for m in &models {
+                if let Some(&v) = it.next() {
+                    mat.set(p, m, v);
+                    prop_assert_eq!(mat.get(p, m), Some(v));
+                }
+            }
+        }
+        for m in &models {
+            prop_assert_eq!(mat.column(m).len(), rows);
+        }
+    }
+}

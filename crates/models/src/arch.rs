@@ -1,0 +1,97 @@
+//! The four target architectures of the study.
+
+use perfport_machines::{CpuMachine, GpuMachine};
+use std::fmt;
+
+/// One of the paper's four hardware targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Crusher CPU: AMD EPYC 7A53, 64 cores / 4 NUMA domains.
+    Epyc7A53,
+    /// Wombat CPU: Ampere Altra, 80 Arm cores.
+    AmpereAltra,
+    /// Crusher GPU: AMD MI250X (one GCD).
+    Mi250x,
+    /// Wombat GPU: NVIDIA A100.
+    A100,
+}
+
+impl Arch {
+    /// All four targets, CPU first (the paper's presentation order).
+    pub const ALL: [Arch; 4] = [Arch::Epyc7A53, Arch::AmpereAltra, Arch::Mi250x, Arch::A100];
+
+    /// `true` for the GPU targets.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Arch::Mi250x | Arch::A100)
+    }
+
+    /// The CPU description, if this is a CPU target.
+    pub fn cpu_machine(&self) -> Option<CpuMachine> {
+        match self {
+            Arch::Epyc7A53 => Some(CpuMachine::epyc_7a53()),
+            Arch::AmpereAltra => Some(CpuMachine::ampere_altra()),
+            _ => None,
+        }
+    }
+
+    /// The GPU description, if this is a GPU target.
+    pub fn gpu_machine(&self) -> Option<GpuMachine> {
+        match self {
+            Arch::Mi250x => Some(GpuMachine::mi250x_gcd()),
+            Arch::A100 => Some(GpuMachine::a100()),
+            _ => None,
+        }
+    }
+
+    /// The subscript label used in the paper's Table III, e.g.
+    /// `e_{Epyc 7A53}`.
+    pub fn table_label(&self) -> &'static str {
+        match self {
+            Arch::Epyc7A53 => "Epyc 7A53",
+            Arch::AmpereAltra => "Ampere Altra",
+            Arch::Mi250x => "MI250x",
+            Arch::A100 => "A100",
+        }
+    }
+
+    /// The hosting OLCF system.
+    pub fn system(&self) -> &'static str {
+        match self {
+            Arch::Epyc7A53 | Arch::Mi250x => "Crusher",
+            Arch::AmpereAltra | Arch::A100 => "Wombat",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.table_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_dispatch_is_exclusive() {
+        for a in Arch::ALL {
+            assert_eq!(a.cpu_machine().is_some(), !a.is_gpu(), "{a}");
+            assert_eq!(a.gpu_machine().is_some(), a.is_gpu(), "{a}");
+        }
+    }
+
+    #[test]
+    fn systems_match_the_paper() {
+        assert_eq!(Arch::Epyc7A53.system(), "Crusher");
+        assert_eq!(Arch::Mi250x.system(), "Crusher");
+        assert_eq!(Arch::AmpereAltra.system(), "Wombat");
+        assert_eq!(Arch::A100.system(), "Wombat");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Arch::A100.to_string(), "A100");
+        assert_eq!(Arch::Epyc7A53.table_label(), "Epyc 7A53");
+    }
+}

@@ -1,0 +1,258 @@
+//! Code-generation efficiency calibration.
+//!
+//! Everything mechanistic about a programming model lives in the profiles
+//! and timing models (pinning, NUMA locality, schedules, launch and JIT
+//! overheads, occupancy, divergence). What remains is the quality of the
+//! *generated inner loop* relative to the vendor toolchain — unroll
+//! depth, vectorisation, bounds-check elimination, register allocation.
+//! Reproducing that from first principles would require the actual
+//! compilers; instead each residual is **calibrated against the paper's
+//! own Table III measurements** and carries its provenance. This is the
+//! honest substitution for a measurement study: mechanisms are modelled,
+//! measured residuals are data.
+//!
+//! FP16 GPU entries are expressed relative to the *single-precision*
+//! ceilings because the paper's FP16 kernels convert to FP32 for the
+//! multiply-accumulate (Fig. 1c); they are set so the model reproduces
+//! the paper's observation that FP16 shows *no gain* over FP32 despite
+//! halved input traffic.
+
+use crate::arch::Arch;
+use crate::progmodel::ProgModel;
+use perfport_machines::Precision;
+
+/// A calibrated value with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Efficiency relative to the vendor toolchain on the same ceilings.
+    pub value: f64,
+    /// Where the number comes from.
+    pub provenance: &'static str,
+}
+
+const VENDOR: Calibration = Calibration {
+    value: 1.0,
+    provenance: "vendor reference (Eq. 2 denominator)",
+};
+
+/// Residual code-generation efficiency of `model` on `arch` at
+/// `precision`.
+///
+/// Combinations the support matrix rules out return a nominal 1.0 — the
+/// runner never times them.
+pub fn codegen_efficiency(model: ProgModel, arch: Arch, precision: Precision) -> Calibration {
+    use Precision::*;
+    use ProgModel::*;
+
+    let c = |value, provenance| Calibration { value, provenance };
+
+    match (model, arch, precision) {
+        (COpenMp | Cuda | Hip, _, _) => VENDOR,
+
+        // --- Kokkos ---
+        (KokkosOpenMp, Arch::Epyc7A53, Double) => c(
+            0.994,
+            "Table III e_{Epyc 7A53}: Kokkos/OpenMP matches AMDClang within noise",
+        ),
+        (KokkosOpenMp, Arch::Epyc7A53, Single) => c(
+            1.014,
+            "Table III: Kokkos slightly above the reference on Zen 3 FP32 (template \
+             instantiation happens to vectorise the dot-product form well)",
+        ),
+        (KokkosOpenMp, Arch::AmpereAltra, Double) => c(
+            0.854,
+            "Table III / Fig. 5a: Kokkos experiences a slowdown on Arm with ArmClang",
+        ),
+        (KokkosOpenMp, Arch::AmpereAltra, Single) => {
+            c(0.836, "Table III / Fig. 5b: Arm FP32 slowdown persists")
+        }
+        (KokkosCuda, Arch::A100, Double) => c(
+            0.260,
+            "Table III / Fig. 7a: Kokkos-CUDA consistently underperforms; the paper \
+             verified GPU activity with nvprof and attributes the gap to configuration \
+             (block/occupancy) chosen by the backend",
+        ),
+        (KokkosCuda, Arch::A100, Single) => {
+            c(0.208, "Table III / Fig. 7b: same configuration gap at FP32")
+        }
+        (KokkosHip, Arch::Mi250x, Double) => c(
+            0.842,
+            "Table III / Fig. 6a: competitive but constant overhead vs. HIP",
+        ),
+        (KokkosHip, Arch::Mi250x, Single) => c(
+            0.677,
+            "Table III / Fig. 6b: consistent FP32 decrease the paper flags for investigation",
+        ),
+
+        // --- Julia ---
+        (JuliaThreads, Arch::Epyc7A53, Double) => c(
+            0.912,
+            "Table III / Fig. 4a: Julia threads close to vendor OpenMP on Zen 3",
+        ),
+        (JuliaThreads, Arch::Epyc7A53, Single) => c(0.976, "Table III / Fig. 4b"),
+        (JuliaThreads, Arch::AmpereAltra, Double) => {
+            c(0.907, "Table III / Fig. 5a: almost on par with ArmClang OpenMP")
+        }
+        (JuliaThreads, Arch::AmpereAltra, Single) => c(0.900, "Table III / Fig. 5b"),
+        (JuliaThreads, _, Half) => c(
+            0.90,
+            "Fig. 5c: Julia FP16 on Arm 'worked seamlessly and provided the expected \
+             levels of performance'; on Zen 3 the machine model's missing native FP16 \
+             already produces the paper's 'very low performance'",
+        ),
+        (JuliaCudaJl, Arch::A100, Double) => c(
+            0.867,
+            "Table III / Fig. 7a: constant overhead vs. CUDA; PTX shows 2× unroll where \
+             nvcc emits 4×",
+        ),
+        (JuliaCudaJl, Arch::A100, Single) => c(
+            0.600,
+            "Table III / Fig. 7b: the FP32 gap the paper calls out for deeper \
+             investigation of the generated PTX",
+        ),
+        (JuliaCudaJl, Arch::A100, Half) => c(
+            0.30,
+            "Fig. 7c: FP16 inputs show no gain over FP32 (conversion-bound); calibrated \
+             to half the FP32 residual so the modelled curve overlaps the FP32 one",
+        ),
+        (JuliaAmdGpu, Arch::Mi250x, Double) => c(
+            0.903,
+            "Table III / Fig. 6a: competitive with HIP, constant overhead",
+        ),
+        (JuliaAmdGpu, Arch::Mi250x, Single) => c(
+            1.050,
+            "Table III / Fig. 6b: Julia slightly *faster* than HIP at FP32 (the paper \
+             suggests system variability; differences shrink at large sizes)",
+        ),
+        (JuliaAmdGpu, Arch::Mi250x, Half) => c(
+            0.525,
+            "Fig. 6c: no noticeable improvement over FP32; half the FP32 residual",
+        ),
+
+        // --- Numba ---
+        (NumbaParallel, Arch::Epyc7A53, Double) => c(
+            0.936,
+            "Table III e=0.550 after the NUMA-locality mechanism (unpinned on 4 domains \
+             ≈ 0.588×): residual 0.550/0.588",
+        ),
+        (NumbaParallel, Arch::Epyc7A53, Single) => c(
+            1.115,
+            "Table III e=0.655 after NUMA locality: fastmath vectorises the FP32 loop \
+             well; the deficit is placement, not codegen",
+        ),
+        (NumbaParallel, Arch::AmpereAltra, Double) => c(
+            0.713,
+            "Table III: single NUMA domain, so the whole gap is LLVM-via-Numba codegen",
+        ),
+        (NumbaParallel, Arch::AmpereAltra, Single) => c(
+            0.400,
+            "Table III: the FP32 Arm gap the paper attributes to missing thread affinity \
+             and Numba's lagging Arm support",
+        ),
+        (NumbaParallel, _, Half) => c(
+            0.40,
+            "not reported in the paper (no float16 RNG); assumed at the FP32 residual",
+        ),
+        (NumbaCuda, Arch::A100, Double) => c(
+            0.130,
+            "Table III / Fig. 7a: Numba-CUDA consistently underperforms (Python \
+             dispatch + conservative PTX); GPU activity verified with nvprof",
+        ),
+        (NumbaCuda, Arch::A100, Single) => c(0.095, "Table III / Fig. 7b"),
+        (NumbaCuda, Arch::A100, Half) => c(
+            0.048,
+            "Fig. 7c: no gain over FP32 (ones-filled inputs, conversion-bound); half the \
+             FP32 residual",
+        ),
+
+        // Combinations the support matrix excludes.
+        _ => VENDOR,
+    }
+}
+
+/// Size-dependent penalty multiplier (1.0 = none). Captures the paper's
+/// "repeatable slowdown at the largest size" for Kokkos/HIP FP64
+/// (Fig. 6a).
+pub fn size_penalty(model: ProgModel, arch: Arch, precision: Precision, n: usize) -> f64 {
+    match (model, arch, precision) {
+        (ProgModel::KokkosHip, Arch::Mi250x, Precision::Double) if n >= 19_456 => 0.72,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_models_are_unity() {
+        for arch in Arch::ALL {
+            for p in Precision::ALL {
+                assert_eq!(codegen_efficiency(ProgModel::COpenMp, arch, p).value, 1.0);
+                assert_eq!(codegen_efficiency(ProgModel::Cuda, arch, p).value, 1.0);
+                assert_eq!(codegen_efficiency(ProgModel::Hip, arch, p).value, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_values_match_table_iii_anchors() {
+        assert_eq!(
+            codegen_efficiency(ProgModel::KokkosCuda, Arch::A100, Precision::Double).value,
+            0.260
+        );
+        assert_eq!(
+            codegen_efficiency(ProgModel::JuliaCudaJl, Arch::A100, Precision::Single).value,
+            0.600
+        );
+        assert_eq!(
+            codegen_efficiency(ProgModel::JuliaAmdGpu, Arch::Mi250x, Precision::Single).value,
+            1.050
+        );
+        assert_eq!(
+            codegen_efficiency(ProgModel::NumbaCuda, Arch::A100, Precision::Double).value,
+            0.130
+        );
+    }
+
+    #[test]
+    fn every_entry_has_provenance_and_sane_range() {
+        for model in ProgModel::ALL {
+            for arch in Arch::ALL {
+                for p in Precision::ALL {
+                    let c = codegen_efficiency(model, arch, p);
+                    assert!(c.value > 0.0 && c.value <= 1.5, "{model} {arch} {p}");
+                    assert!(!c.provenance.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn julia_beats_hip_only_at_fp32() {
+        let d = codegen_efficiency(ProgModel::JuliaAmdGpu, Arch::Mi250x, Precision::Double);
+        let s = codegen_efficiency(ProgModel::JuliaAmdGpu, Arch::Mi250x, Precision::Single);
+        assert!(d.value < 1.0);
+        assert!(s.value > 1.0);
+    }
+
+    #[test]
+    fn kokkos_hip_large_size_dip() {
+        assert_eq!(
+            size_penalty(ProgModel::KokkosHip, Arch::Mi250x, Precision::Double, 20_480),
+            0.72
+        );
+        assert_eq!(
+            size_penalty(ProgModel::KokkosHip, Arch::Mi250x, Precision::Double, 16_384),
+            1.0
+        );
+        assert_eq!(
+            size_penalty(ProgModel::KokkosHip, Arch::Mi250x, Precision::Single, 20_480),
+            1.0
+        );
+        assert_eq!(
+            size_penalty(ProgModel::Hip, Arch::Mi250x, Precision::Double, 20_480),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Programming-model profiles: how each high-level model executes the
+//! hand-rolled GEMM on each architecture.
+//!
+//! A *programming model* in the paper's sense is a language + runtime +
+//! compiler stack: C/OpenMP with the vendor LLVM compiler, C++/Kokkos
+//! over an OpenMP/CUDA/HIP backend, Julia's `@threads`/CUDA.jl/AMDGPU.jl,
+//! and Python/Numba on CPU or CUDA. This crate describes each stack as:
+//!
+//! * a **mechanistic profile** — can it pin threads? what does a parallel
+//!   region / kernel launch cost relative to the vendor runtime? how long
+//!   is the JIT warm-up the paper excludes? which loop schedule does it
+//!   use? ([`profiles`])
+//! * a **support matrix** — which (model, architecture, precision)
+//!   combinations exist at all (Numba's deprecated AMD GPU backend, the
+//!   missing `float16` RNG, Kokkos/C half support) ([`support`]),
+//! * a **code-generation calibration** — the residual efficiency of the
+//!   generated inner loop relative to the vendor toolchain, with per-entry
+//!   provenance; values are calibrated against the paper's own Table III
+//!   measurements, which is the honest way to reproduce a measurement
+//!   study without the authors' hardware ([`calibration`]).
+
+pub mod arch;
+pub mod calibration;
+pub mod profiles;
+pub mod progmodel;
+pub mod support;
+pub mod versions;
+
+pub use arch::Arch;
+pub use calibration::{codegen_efficiency, size_penalty, Calibration};
+pub use profiles::{cpu_profile, gpu_profile, CpuModelProfile, GpuModelProfile};
+pub use progmodel::{ModelFamily, ProgModel};
+pub use support::{support, Support};
+pub use versions::{toolchain, Toolchain};

@@ -1,0 +1,145 @@
+//! Mechanistic runtime profiles: what each stack's runtime does around
+//! the kernel.
+
+use crate::progmodel::ProgModel;
+use perfport_pool::{PinPolicy, Schedule};
+
+/// Runtime behaviour of a CPU programming model.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuModelProfile {
+    /// The stack this profile describes.
+    pub model: ProgModel,
+    /// Thread-affinity policy the stack can express
+    /// (`OMP_PROC_BIND=true OMP_PLACES=threads`, `JULIA_EXCLUSIVE=1`;
+    /// Numba has no pinning API — the gap the paper calls out).
+    pub pin_policy: PinPolicy,
+    /// Fork-join cost relative to the vendor OpenMP runtime.
+    pub region_overhead_multiplier: f64,
+    /// One-time JIT compilation cost, seconds (excluded by the paper's
+    /// warm-up protocol, but modelled so the warm-up exclusion is real).
+    pub jit_warmup_s: f64,
+    /// Loop schedule the stack uses for `parallel for`.
+    pub schedule: Schedule,
+}
+
+/// Runtime behaviour of a GPU programming model.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuModelProfile {
+    /// The stack this profile describes.
+    pub model: ProgModel,
+    /// Launch latency relative to the vendor runtime (Numba pays Python
+    /// dispatch on every launch).
+    pub launch_overhead_multiplier: f64,
+    /// One-time JIT/compilation cost, seconds.
+    pub jit_warmup_s: f64,
+}
+
+/// The CPU profile of a model.
+///
+/// # Panics
+///
+/// Panics for GPU models.
+pub fn cpu_profile(model: ProgModel) -> CpuModelProfile {
+    let p = |pin_policy, region_overhead_multiplier, jit_warmup_s| CpuModelProfile {
+        model,
+        pin_policy,
+        region_overhead_multiplier,
+        jit_warmup_s,
+        schedule: Schedule::StaticBlock,
+    };
+    match model {
+        ProgModel::COpenMp => p(PinPolicy::Compact, 1.0, 0.0),
+        ProgModel::KokkosOpenMp => p(PinPolicy::Compact, 1.2, 0.0),
+        // `JULIA_EXCLUSIVE=1` pins threads to cores in strict order.
+        ProgModel::JuliaThreads => p(PinPolicy::Compact, 2.0, 3.5),
+        // "there is currently no mechanism for setting a thread
+        // binding/pinning policy" (paper §III.A).
+        ProgModel::NumbaParallel => p(PinPolicy::Unpinned, 4.0, 1.2),
+        other => panic!("{other} is not a CPU model"),
+    }
+}
+
+/// The GPU profile of a model.
+///
+/// # Panics
+///
+/// Panics for CPU models.
+pub fn gpu_profile(model: ProgModel) -> GpuModelProfile {
+    let p = |launch_overhead_multiplier, jit_warmup_s| GpuModelProfile {
+        model,
+        launch_overhead_multiplier,
+        jit_warmup_s,
+    };
+    match model {
+        ProgModel::Cuda | ProgModel::Hip => p(1.0, 0.0),
+        ProgModel::KokkosCuda | ProgModel::KokkosHip => p(1.3, 0.0),
+        ProgModel::JuliaCudaJl => p(1.5, 4.0),
+        ProgModel::JuliaAmdGpu => p(1.5, 5.0),
+        ProgModel::NumbaCuda => p(12.0, 1.5),
+        other => panic!("{other} is not a GPU model"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Arch;
+
+    #[test]
+    fn cpu_profiles_exist_for_all_cpu_models() {
+        for arch in [Arch::Epyc7A53, Arch::AmpereAltra] {
+            for model in ProgModel::candidates(arch) {
+                let p = cpu_profile(model);
+                assert_eq!(p.model, model);
+                assert!(p.region_overhead_multiplier >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_profiles_exist_for_all_gpu_models() {
+        for arch in [Arch::A100, Arch::Mi250x] {
+            for model in ProgModel::candidates(arch) {
+                let p = gpu_profile(model);
+                assert_eq!(p.model, model);
+                assert!(p.launch_overhead_multiplier >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn only_numba_cannot_pin() {
+        assert_eq!(cpu_profile(ProgModel::NumbaParallel).pin_policy, PinPolicy::Unpinned);
+        for m in [ProgModel::COpenMp, ProgModel::KokkosOpenMp, ProgModel::JuliaThreads] {
+            assert_ne!(cpu_profile(m).pin_policy, PinPolicy::Unpinned, "{m}");
+        }
+    }
+
+    #[test]
+    fn jit_languages_have_warmup() {
+        assert!(cpu_profile(ProgModel::JuliaThreads).jit_warmup_s > 0.0);
+        assert!(cpu_profile(ProgModel::NumbaParallel).jit_warmup_s > 0.0);
+        assert_eq!(cpu_profile(ProgModel::COpenMp).jit_warmup_s, 0.0);
+        assert!(gpu_profile(ProgModel::JuliaCudaJl).jit_warmup_s > 0.0);
+        assert_eq!(gpu_profile(ProgModel::Cuda).jit_warmup_s, 0.0);
+    }
+
+    #[test]
+    fn numba_pays_python_dispatch_per_launch() {
+        let numba = gpu_profile(ProgModel::NumbaCuda);
+        let cuda = gpu_profile(ProgModel::Cuda);
+        assert!(numba.launch_overhead_multiplier > 5.0 * cuda.launch_overhead_multiplier);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a CPU model")]
+    fn gpu_model_in_cpu_profile_panics() {
+        let _ = cpu_profile(ProgModel::Cuda);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a GPU model")]
+    fn cpu_model_in_gpu_profile_panics() {
+        let _ = gpu_profile(ProgModel::JuliaThreads);
+    }
+}

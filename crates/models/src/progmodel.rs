@@ -1,0 +1,251 @@
+//! The concrete programming models and the portable model families.
+
+use crate::arch::Arch;
+use std::fmt;
+
+/// A concrete programming-model stack as configured in Tables I–II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgModel {
+    /// C + OpenMP, vendor LLVM compiler (CPU reference).
+    COpenMp,
+    /// C++ Kokkos, OpenMP backend.
+    KokkosOpenMp,
+    /// Julia `Threads.@threads`.
+    JuliaThreads,
+    /// Python/Numba `@njit(parallel=True)`.
+    NumbaParallel,
+    /// CUDA C (NVIDIA GPU reference).
+    Cuda,
+    /// HIP C (AMD GPU reference).
+    Hip,
+    /// C++ Kokkos, CUDA backend.
+    KokkosCuda,
+    /// C++ Kokkos, HIP backend.
+    KokkosHip,
+    /// Julia CUDA.jl.
+    JuliaCudaJl,
+    /// Julia AMDGPU.jl.
+    JuliaAmdGpu,
+    /// Python/Numba `@cuda.jit`.
+    NumbaCuda,
+}
+
+impl ProgModel {
+    /// All eleven concrete stacks.
+    pub const ALL: [ProgModel; 11] = [
+        ProgModel::COpenMp,
+        ProgModel::KokkosOpenMp,
+        ProgModel::JuliaThreads,
+        ProgModel::NumbaParallel,
+        ProgModel::Cuda,
+        ProgModel::Hip,
+        ProgModel::KokkosCuda,
+        ProgModel::KokkosHip,
+        ProgModel::JuliaCudaJl,
+        ProgModel::JuliaAmdGpu,
+        ProgModel::NumbaCuda,
+    ];
+
+    /// `true` for GPU stacks.
+    pub fn is_gpu(&self) -> bool {
+        !matches!(
+            self,
+            ProgModel::COpenMp
+                | ProgModel::KokkosOpenMp
+                | ProgModel::JuliaThreads
+                | ProgModel::NumbaParallel
+        )
+    }
+
+    /// `true` for the vendor references the efficiencies divide by.
+    pub fn is_vendor_reference(&self) -> bool {
+        matches!(self, ProgModel::COpenMp | ProgModel::Cuda | ProgModel::Hip)
+    }
+
+    /// The vendor reference model for an architecture (Eq. 2's
+    /// denominator).
+    pub fn vendor_reference(arch: Arch) -> ProgModel {
+        match arch {
+            Arch::Epyc7A53 | Arch::AmpereAltra => ProgModel::COpenMp,
+            Arch::A100 => ProgModel::Cuda,
+            Arch::Mi250x => ProgModel::Hip,
+        }
+    }
+
+    /// The models the paper runs on an architecture (vendor reference
+    /// first), before support filtering.
+    pub fn candidates(arch: Arch) -> Vec<ProgModel> {
+        match arch {
+            Arch::Epyc7A53 | Arch::AmpereAltra => vec![
+                ProgModel::COpenMp,
+                ProgModel::KokkosOpenMp,
+                ProgModel::JuliaThreads,
+                ProgModel::NumbaParallel,
+            ],
+            Arch::A100 => vec![
+                ProgModel::Cuda,
+                ProgModel::KokkosCuda,
+                ProgModel::JuliaCudaJl,
+                ProgModel::NumbaCuda,
+            ],
+            Arch::Mi250x => vec![
+                ProgModel::Hip,
+                ProgModel::KokkosHip,
+                ProgModel::JuliaAmdGpu,
+                ProgModel::NumbaCuda,
+            ],
+        }
+    }
+
+    /// Short identifier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProgModel::COpenMp => "C/OpenMP",
+            ProgModel::KokkosOpenMp => "Kokkos/OpenMP",
+            ProgModel::JuliaThreads => "Julia Threads",
+            ProgModel::NumbaParallel => "Python/Numba",
+            ProgModel::Cuda => "CUDA",
+            ProgModel::Hip => "HIP",
+            ProgModel::KokkosCuda => "Kokkos/CUDA",
+            ProgModel::KokkosHip => "Kokkos/HIP",
+            ProgModel::JuliaCudaJl => "Julia CUDA.jl",
+            ProgModel::JuliaAmdGpu => "Julia AMDGPU.jl",
+            ProgModel::NumbaCuda => "Numba CUDA",
+        }
+    }
+
+    /// The portable family this stack belongs to, if any (vendor
+    /// references belong to none).
+    pub fn family(&self) -> Option<ModelFamily> {
+        match self {
+            ProgModel::KokkosOpenMp | ProgModel::KokkosCuda | ProgModel::KokkosHip => {
+                Some(ModelFamily::Kokkos)
+            }
+            ProgModel::JuliaThreads | ProgModel::JuliaCudaJl | ProgModel::JuliaAmdGpu => {
+                Some(ModelFamily::Julia)
+            }
+            ProgModel::NumbaParallel | ProgModel::NumbaCuda => Some(ModelFamily::PythonNumba),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProgModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A portable programming model (a Table III column): one codebase, many
+/// architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// C++ Kokkos.
+    Kokkos,
+    /// Julia (Threads + CUDA.jl + AMDGPU.jl).
+    Julia,
+    /// Python/Numba.
+    PythonNumba,
+}
+
+impl ModelFamily {
+    /// Table III's column order.
+    pub const ALL: [ModelFamily; 3] = [
+        ModelFamily::Kokkos,
+        ModelFamily::Julia,
+        ModelFamily::PythonNumba,
+    ];
+
+    /// The concrete stack this family uses on `arch`.
+    pub fn concrete(&self, arch: Arch) -> ProgModel {
+        match (self, arch) {
+            (ModelFamily::Kokkos, Arch::Epyc7A53 | Arch::AmpereAltra) => ProgModel::KokkosOpenMp,
+            (ModelFamily::Kokkos, Arch::A100) => ProgModel::KokkosCuda,
+            (ModelFamily::Kokkos, Arch::Mi250x) => ProgModel::KokkosHip,
+            (ModelFamily::Julia, Arch::Epyc7A53 | Arch::AmpereAltra) => ProgModel::JuliaThreads,
+            (ModelFamily::Julia, Arch::A100) => ProgModel::JuliaCudaJl,
+            (ModelFamily::Julia, Arch::Mi250x) => ProgModel::JuliaAmdGpu,
+            (ModelFamily::PythonNumba, Arch::Epyc7A53 | Arch::AmpereAltra) => {
+                ProgModel::NumbaParallel
+            }
+            (ModelFamily::PythonNumba, Arch::A100 | Arch::Mi250x) => ProgModel::NumbaCuda,
+        }
+    }
+
+    /// The paper's column header.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelFamily::Kokkos => "Kokkos",
+            ModelFamily::Julia => "Julia",
+            ModelFamily::PythonNumba => "Python/Numba",
+        }
+    }
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_references() {
+        assert_eq!(ProgModel::vendor_reference(Arch::Epyc7A53), ProgModel::COpenMp);
+        assert_eq!(ProgModel::vendor_reference(Arch::A100), ProgModel::Cuda);
+        assert_eq!(ProgModel::vendor_reference(Arch::Mi250x), ProgModel::Hip);
+        assert!(ProgModel::Cuda.is_vendor_reference());
+        assert!(!ProgModel::JuliaCudaJl.is_vendor_reference());
+    }
+
+    #[test]
+    fn candidates_start_with_the_reference() {
+        for arch in Arch::ALL {
+            let c = ProgModel::candidates(arch);
+            assert_eq!(c[0], ProgModel::vendor_reference(arch));
+            assert_eq!(c.len(), 4);
+            for m in &c {
+                assert_eq!(m.is_gpu(), arch.is_gpu(), "{m} on {arch}");
+            }
+        }
+    }
+
+    #[test]
+    fn families_cover_every_portable_model() {
+        for m in ProgModel::ALL {
+            assert_eq!(m.family().is_none(), m.is_vendor_reference(), "{m}");
+        }
+    }
+
+    #[test]
+    fn family_concretisation_matches_tables_i_and_ii() {
+        assert_eq!(ModelFamily::Kokkos.concrete(Arch::Mi250x), ProgModel::KokkosHip);
+        assert_eq!(ModelFamily::Julia.concrete(Arch::A100), ProgModel::JuliaCudaJl);
+        assert_eq!(
+            ModelFamily::PythonNumba.concrete(Arch::Mi250x),
+            ProgModel::NumbaCuda
+        );
+        assert_eq!(
+            ModelFamily::Julia.concrete(Arch::AmpereAltra),
+            ProgModel::JuliaThreads
+        );
+    }
+
+    #[test]
+    fn family_concrete_is_a_member_of_the_family() {
+        for f in ModelFamily::ALL {
+            for arch in Arch::ALL {
+                assert_eq!(f.concrete(arch).family(), Some(f));
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProgModel::JuliaAmdGpu.to_string(), "Julia AMDGPU.jl");
+        assert_eq!(ModelFamily::PythonNumba.to_string(), "Python/Numba");
+    }
+}

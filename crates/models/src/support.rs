@@ -1,0 +1,160 @@
+//! The platform/precision support matrix — the paper's "portability"
+//! dimension in the strict sense of *does it run at all*.
+
+use crate::arch::Arch;
+use crate::progmodel::ProgModel;
+use perfport_machines::Precision;
+use std::fmt;
+
+/// Whether a (model, architecture, precision) combination runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Runs as configured in Tables I–II.
+    Supported,
+    /// Runs with a documented workaround.
+    Partial(&'static str),
+    /// Does not run; the reason the paper gives.
+    Unsupported(&'static str),
+}
+
+impl Support {
+    /// `true` unless [`Support::Unsupported`].
+    pub fn runs(&self) -> bool {
+        !matches!(self, Support::Unsupported(_))
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Support::Supported => write!(f, "supported"),
+            Support::Partial(why) => write!(f, "partial ({why})"),
+            Support::Unsupported(why) => write!(f, "unsupported ({why})"),
+        }
+    }
+}
+
+/// Looks up the support status of a combination, encoding every gap the
+/// paper reports.
+pub fn support(model: ProgModel, arch: Arch, precision: Precision) -> Support {
+    // Wrong device family entirely.
+    let wrong_family = match model {
+        ProgModel::Cuda | ProgModel::KokkosCuda | ProgModel::JuliaCudaJl => arch != Arch::A100,
+        ProgModel::Hip | ProgModel::KokkosHip | ProgModel::JuliaAmdGpu => arch != Arch::Mi250x,
+        ProgModel::NumbaCuda => !arch.is_gpu(),
+        _ => arch.is_gpu(),
+    };
+    if wrong_family {
+        return Support::Unsupported("model does not target this architecture");
+    }
+
+    // Numba's AMD GPU backend is deprecated (paper §II, footnote 3).
+    if model == ProgModel::NumbaCuda && arch == Arch::Mi250x {
+        return Support::Unsupported("Numba deprecated AMD GPU (ROCm) support");
+    }
+
+    if precision == Precision::Half {
+        return half_support(model, arch);
+    }
+    Support::Supported
+}
+
+fn half_support(model: ProgModel, arch: Arch) -> Support {
+    match model {
+        // "Other programming models do not provide seamless half-precision
+        // support" (paper §IV.B).
+        ProgModel::COpenMp | ProgModel::KokkosOpenMp | ProgModel::KokkosCuda
+        | ProgModel::KokkosHip | ProgModel::Cuda | ProgModel::Hip => {
+            Support::Unsupported("no seamless FP16 support in the study's configuration")
+        }
+        // Julia runs FP16 everywhere; on the AMD CPU it is painfully slow
+        // (no native half SIMD), which the paper mentions but does not
+        // plot.
+        ProgModel::JuliaThreads => match arch {
+            Arch::Epyc7A53 => Support::Partial(
+                "runs but very low performance (no native FP16 on Zen 3); not plotted in the paper",
+            ),
+            _ => Support::Supported,
+        },
+        ProgModel::JuliaCudaJl | ProgModel::JuliaAmdGpu => Support::Supported,
+        // numpy cannot generate float16 randoms: inputs are matrices of
+        // ones (paper §IV.B).
+        ProgModel::NumbaCuda | ProgModel::NumbaParallel => {
+            Support::Partial("no float16 random generation in NumPy; inputs filled with ones")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numba_amd_gpu_is_deprecated() {
+        let s = support(ProgModel::NumbaCuda, Arch::Mi250x, Precision::Double);
+        assert!(!s.runs());
+        assert!(s.to_string().contains("deprecated"));
+    }
+
+    #[test]
+    fn cuda_only_on_a100_hip_only_on_mi250x() {
+        assert!(support(ProgModel::Cuda, Arch::A100, Precision::Double).runs());
+        assert!(!support(ProgModel::Cuda, Arch::Mi250x, Precision::Double).runs());
+        assert!(support(ProgModel::Hip, Arch::Mi250x, Precision::Single).runs());
+        assert!(!support(ProgModel::Hip, Arch::A100, Precision::Single).runs());
+    }
+
+    #[test]
+    fn cpu_models_do_not_run_on_gpus_and_vice_versa() {
+        assert!(!support(ProgModel::COpenMp, Arch::A100, Precision::Double).runs());
+        assert!(!support(ProgModel::JuliaThreads, Arch::Mi250x, Precision::Double).runs());
+        assert!(!support(ProgModel::KokkosCuda, Arch::Epyc7A53, Precision::Double).runs());
+    }
+
+    #[test]
+    fn half_precision_matrix_matches_the_paper() {
+        // Julia: seamless on GPUs and on Arm.
+        assert_eq!(
+            support(ProgModel::JuliaCudaJl, Arch::A100, Precision::Half),
+            Support::Supported
+        );
+        assert_eq!(
+            support(ProgModel::JuliaAmdGpu, Arch::Mi250x, Precision::Half),
+            Support::Supported
+        );
+        assert_eq!(
+            support(ProgModel::JuliaThreads, Arch::AmpereAltra, Precision::Half),
+            Support::Supported
+        );
+        // Julia on the AMD CPU: runs, too slow to report.
+        assert!(matches!(
+            support(ProgModel::JuliaThreads, Arch::Epyc7A53, Precision::Half),
+            Support::Partial(_)
+        ));
+        // Numba: the ones-filled workaround.
+        assert!(matches!(
+            support(ProgModel::NumbaCuda, Arch::A100, Precision::Half),
+            Support::Partial(_)
+        ));
+        // Everything else: no.
+        assert!(!support(ProgModel::Cuda, Arch::A100, Precision::Half).runs());
+        assert!(!support(ProgModel::KokkosHip, Arch::Mi250x, Precision::Half).runs());
+        assert!(!support(ProgModel::COpenMp, Arch::Epyc7A53, Precision::Half).runs());
+    }
+
+    #[test]
+    fn double_and_single_run_everywhere_supported() {
+        for arch in Arch::ALL {
+            for model in ProgModel::candidates(arch) {
+                for p in [Precision::Double, Precision::Single] {
+                    let s = support(model, arch, p);
+                    if model == ProgModel::NumbaCuda && arch == Arch::Mi250x {
+                        assert!(!s.runs());
+                    } else {
+                        assert!(s.runs(), "{model} on {arch} {p}: {s}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The software stacks of Tables I and II: compiler/runtime versions and
+//! flags, as configuration data.
+//!
+//! The paper's reproducibility appendix pins every stack to an exact
+//! version; keeping them here lets `tables12` regenerate the
+//! configuration tables and gives the study registry a provenance
+//! record.
+
+use crate::arch::Arch;
+use crate::progmodel::ProgModel;
+
+/// One toolchain cell of Table I/II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Toolchain {
+    /// Compiler or runtime name and version, e.g. `"AMDClang 14"`.
+    pub compiler: &'static str,
+    /// Language/runtime version where distinct from the compiler, e.g.
+    /// `"Julia v1.8.0-rc1"`.
+    pub runtime: &'static str,
+    /// The flags of Tables I–II.
+    pub flags: &'static str,
+    /// Environment variables controlling the run.
+    pub env: &'static str,
+}
+
+/// The toolchain the paper used for `model` on `arch` (Tables I–II).
+/// Combinations outside the study return `None`.
+pub fn toolchain(model: ProgModel, arch: Arch) -> Option<Toolchain> {
+    use Arch::*;
+    use ProgModel::*;
+    let t = |compiler, runtime, flags, env| {
+        Some(Toolchain {
+            compiler,
+            runtime,
+            flags,
+            env,
+        })
+    };
+    match (model, arch) {
+        (COpenMp, AmpereAltra) => t(
+            "ArmClang 22",
+            "C11",
+            "-O3 -fopenmp",
+            "OMP_NUM_THREADS=80 OMP_PROC_BIND=true OMP_PLACES=threads",
+        ),
+        (COpenMp, Epyc7A53) => t(
+            "AMDClang 14",
+            "C11",
+            "-O3 -fopenmp -march=native",
+            "OMP_NUM_THREADS=64 OMP_PROC_BIND=true OMP_PLACES=threads",
+        ),
+        (KokkosOpenMp, AmpereAltra) => t(
+            "ArmClang++ 22",
+            "Kokkos v3.6.01",
+            "-O3 -fopenmp (KOKKOS_DEVICES=OpenMP, KOKKOS_ARCH=Armv8-TX2)",
+            "OMP_NUM_THREADS=80",
+        ),
+        (KokkosOpenMp, Epyc7A53) => t(
+            "AMDClang++ 14",
+            "Kokkos v3.6.01",
+            "-O3 -fopenmp -march=native (KOKKOS_DEVICES=OpenMP, KOKKOS_ARCH=Zen3)",
+            "OMP_NUM_THREADS=64",
+        ),
+        (JuliaThreads, AmpereAltra) => t(
+            "Julia (LLVM)",
+            "Julia v1.7.2",
+            "-O3 -t 80",
+            "JULIA_EXCLUSIVE=1",
+        ),
+        (JuliaThreads, Epyc7A53) => t(
+            "Julia (LLVM)",
+            "Julia v1.8.0-rc1",
+            "-O3 -t 64",
+            "JULIA_EXCLUSIVE=1",
+        ),
+        (NumbaParallel, AmpereAltra | Epyc7A53) => t(
+            "Numba (LLVM)",
+            "Python v3.9.9 / Numba v0.55.1",
+            "@njit(parallel=True, nogil=True, fastmath=True)",
+            "NUMBA_NUM_THREADS=<cores> NUMBA_OPT=3 (no pinning API)",
+        ),
+        (Cuda, A100) => t("nvcc v11.5.1", "CUDA C", "-arch=sm_80", ""),
+        (Hip, Mi250x) => t("hipcc v14.0.0", "HIP C", "-amdgpu-target=gfx908", ""),
+        (KokkosCuda, A100) => t(
+            "nvcc v11.5.1",
+            "Kokkos v3.6.01",
+            "-expt-extended-lambda -Xcudafe -arch=sm_80 (KOKKOS_DEVICES=Cuda, KOKKOS_ARCH=Ampere80)",
+            "",
+        ),
+        (KokkosHip, Mi250x) => t(
+            "hipcc v14.0.0",
+            "Kokkos v3.6.01",
+            "-amdgpu-target=gfx908 (KOKKOS_DEVICES=Hip, KOKKOS_ARCH=Vega908)",
+            "",
+        ),
+        (JuliaCudaJl, A100) => t(
+            "Julia (LLVM/PTX)",
+            "Julia v1.7.2 + CUDA.jl",
+            "-O3",
+            "JULIA_CUDA_USE_BINARYBUILDER=false",
+        ),
+        (JuliaAmdGpu, Mi250x) => t(
+            "Julia (LLVM/AMDGPU)",
+            "Julia v1.8.0-rc1 + AMDGPU.jl v0.4.1",
+            "-O3",
+            "",
+        ),
+        (NumbaCuda, A100) => t(
+            "Numba (NVVM)",
+            "Python v3.9.9 / Numba v0.55.1",
+            "@cuda.jit",
+            "",
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::{support, Support};
+    use perfport_machines::Precision;
+
+    #[test]
+    fn every_runnable_fp64_combination_has_a_toolchain() {
+        for arch in Arch::ALL {
+            for model in ProgModel::candidates(arch) {
+                let runnable = matches!(
+                    support(model, arch, Precision::Double),
+                    Support::Supported | Support::Partial(_)
+                );
+                assert_eq!(
+                    toolchain(model, arch).is_some(),
+                    runnable,
+                    "{model} on {arch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn versions_match_tables_i_and_ii() {
+        let julia_wombat = toolchain(ProgModel::JuliaThreads, Arch::AmpereAltra).unwrap();
+        assert!(julia_wombat.runtime.contains("1.7.2"));
+        let julia_crusher = toolchain(ProgModel::JuliaThreads, Arch::Epyc7A53).unwrap();
+        assert!(julia_crusher.runtime.contains("1.8.0-rc1"));
+        let kokkos = toolchain(ProgModel::KokkosCuda, Arch::A100).unwrap();
+        assert!(kokkos.runtime.contains("3.6.01"));
+        assert!(kokkos.flags.contains("sm_80"));
+        let hip = toolchain(ProgModel::Hip, Arch::Mi250x).unwrap();
+        assert!(hip.flags.contains("gfx908"));
+        let numba = toolchain(ProgModel::NumbaParallel, Arch::Epyc7A53).unwrap();
+        assert!(numba.runtime.contains("0.55.1"));
+    }
+
+    #[test]
+    fn pinning_env_is_present_exactly_where_the_paper_says() {
+        let omp = toolchain(ProgModel::COpenMp, Arch::Epyc7A53).unwrap();
+        assert!(omp.env.contains("OMP_PROC_BIND"));
+        let julia = toolchain(ProgModel::JuliaThreads, Arch::Epyc7A53).unwrap();
+        assert!(julia.env.contains("JULIA_EXCLUSIVE"));
+        let numba = toolchain(ProgModel::NumbaParallel, Arch::Epyc7A53).unwrap();
+        assert!(numba.env.contains("no pinning"));
+    }
+
+    #[test]
+    fn cross_device_combinations_have_no_toolchain() {
+        assert!(toolchain(ProgModel::Cuda, Arch::Mi250x).is_none());
+        assert!(toolchain(ProgModel::NumbaCuda, Arch::Mi250x).is_none());
+        assert!(toolchain(ProgModel::COpenMp, Arch::A100).is_none());
+    }
+}

@@ -1,0 +1,154 @@
+//! A reusable sense-reversing barrier.
+//!
+//! OpenMP places an implicit barrier at the end of every worksharing
+//! construct; the pool uses this barrier to implement that join. The
+//! sense-reversing design (one atomic counter plus a phase flag) is the
+//! textbook centralised barrier: the last thread to arrive flips the sense,
+//! releasing everyone spinning on it, and the flip itself makes the barrier
+//! immediately reusable with no reset step.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed-size team.
+///
+/// Waiters first spin briefly (cheap when the team is balanced, which is
+/// the common case for a static GEMM schedule) and then fall back to
+/// blocking on a condvar, so an imbalanced team does not burn cores.
+pub struct SenseBarrier {
+    team: usize,
+    arrived: AtomicUsize,
+    sense: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// How many times a waiter polls the sense flag before blocking.
+const SPIN_LIMIT: u32 = 1 << 12;
+
+impl SenseBarrier {
+    /// Creates a barrier for a team of `team` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `team == 0`.
+    pub fn new(team: usize) -> Self {
+        assert!(team > 0, "barrier team must be non-empty");
+        SenseBarrier {
+            team,
+            arrived: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Team size the barrier was built for.
+    pub fn team(&self) -> usize {
+        self.team
+    }
+
+    /// Blocks until all `team` threads have called `wait` for this phase.
+    /// Returns `true` on exactly one thread per phase (the last arriver),
+    /// mirroring `std::sync::Barrier`'s leader result.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Relaxed);
+        // AcqRel: arrivals before the barrier happen-before releases after.
+        let n = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.team {
+            self.arrived.store(0, Ordering::Relaxed);
+            // Release the new phase; pairs with the Acquire loads below.
+            let _guard = self.lock.lock();
+            self.sense.store(my_sense, Ordering::Release);
+            self.cv.notify_all();
+            return true;
+        }
+        let mut spins = 0;
+        while self.sense.load(Ordering::Acquire) != my_sense {
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                let mut guard = self.lock.lock();
+                if self.sense.load(Ordering::Acquire) != my_sense {
+                    self.cv.wait(&mut guard);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_barrier_is_a_noop_leader() {
+        let b = SenseBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+        assert_eq!(b.team(), 1);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        let team = 8;
+        let phases = 50;
+        let b = Arc::new(SenseBarrier::new(team));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..team {
+                let b = b.clone();
+                let leaders = leaders.clone();
+                s.spawn(move || {
+                    for _ in 0..phases {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), phases);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Classic check: no thread may enter phase k+1 while another is
+        // still in phase k.
+        let team = 6;
+        let phases = 100;
+        let b = Arc::new(SenseBarrier::new(team));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..team {
+                let b = b.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for phase in 0..phases {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier, everyone must have bumped the
+                        // counter for this phase.
+                        let seen = counter.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= (phase + 1) * team,
+                            "phase {phase}: saw {seen}"
+                        );
+                        b.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), team * phases);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_team_panics() {
+        let _ = SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,41 @@
+//! An OpenMP-like work-sharing runtime.
+//!
+//! The paper compares four CPU programming models that all reduce to the
+//! same execution shape: a persistent team of worker threads, a `parallel
+//! for` over an index space, a loop schedule (OpenMP `static`/`dynamic`/
+//! `guided`, Julia `@threads :static`, Numba `prange`), and an optional
+//! thread-affinity policy (`OMP_PROC_BIND`/`OMP_PLACES`, `JULIA_EXCLUSIVE`;
+//! Numba notably has none). This crate is that substrate, built from
+//! scratch on `crossbeam` channels and `parking_lot` primitives:
+//!
+//! * [`ThreadPool`] — a persistent worker team with fork-join semantics and
+//!   panic propagation (the "OpenMP runtime").
+//! * [`Schedule`] — static (block or round-robin chunked), dynamic, and
+//!   guided loop schedules, implemented exactly as the OpenMP 5.x
+//!   specification describes them.
+//! * [`CpuTopology`] / [`PinPolicy`] — affinity bookkeeping. Placement is
+//!   *recorded*, not enforced with `sched_setaffinity` (no `libc`
+//!   dependency, and containers routinely mask CPU sets); the analytical
+//!   timing models in `perfport-machines` consume the recorded placement to
+//!   model NUMA locality, which is the effect the paper attributes to
+//!   pinning.
+//! * [`RegionStats`] — per-region instrumentation: items and chunks per
+//!   thread, load imbalance, fork-join overhead.
+//! * [`SenseBarrier`] — a reusable sense-reversing barrier.
+//! * [`DisjointSlice`] — safe disjoint mutable access for row-parallel
+//!   kernels.
+
+mod barrier;
+mod pool;
+mod reduce;
+mod schedule;
+mod slice;
+mod stats;
+mod topology;
+
+pub use barrier::SenseBarrier;
+pub use pool::{ForContext, ThreadPool};
+pub use schedule::{Chunk, Schedule, StaticChunks};
+pub use slice::DisjointSlice;
+pub use stats::RegionStats;
+pub use topology::{CpuTopology, PinPolicy, Placement};

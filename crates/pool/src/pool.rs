@@ -1,0 +1,477 @@
+//! The persistent worker team and its fork-join protocol.
+//!
+//! Like an OpenMP runtime, the pool keeps its team alive across parallel
+//! regions: forking a region costs one channel send per worker plus a
+//! wake-up, not a thread spawn. Region bodies may borrow from the caller's
+//! stack; soundness comes from the strict join protocol — `run_region`
+//! does not return until every worker has signalled completion, so the
+//! borrowed closure outlives all uses.
+
+use crate::schedule::{Chunk, DynamicCursor, Schedule, StaticChunks};
+use crate::slice::SlotCell;
+use crate::stats::RegionStats;
+use crate::topology::{place, CpuTopology, PinPolicy, Placement};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-thread context handed to every region body.
+#[derive(Debug, Clone, Copy)]
+pub struct ForContext {
+    /// This worker's index within the team, `0..num_threads`.
+    pub thread_id: usize,
+    /// Team size (`omp_get_num_threads`).
+    pub num_threads: usize,
+    /// Where the affinity policy put this worker.
+    pub placement: Placement,
+}
+
+/// Completion state shared between the coordinator and the team for one
+/// region.
+struct RegionState {
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl RegionState {
+    fn new(team: usize) -> Arc<Self> {
+        Arc::new(RegionState {
+            remaining: AtomicUsize::new(team),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn finish_one(&self) {
+        // AcqRel: the worker's writes happen-before the coordinator's
+        // return from `wait`.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock();
+            *done = true;
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+/// A type-erased pointer to a region body living on the coordinator's
+/// stack. The join protocol guarantees the pointee outlives every call.
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    state: Arc<RegionState>,
+}
+
+// SAFETY: `data` points at a `F: Sync` closure that the coordinator keeps
+// alive until all workers signalled completion; sending the pointer to
+// worker threads is exactly the `&F: Send` capability `F: Sync` grants.
+unsafe impl Send for Job {}
+
+enum Msg {
+    Run(Job),
+    Shutdown,
+}
+
+/// Calls the closure behind the erased pointer. Split out so each
+/// monomorphisation carries the concrete `F`.
+///
+/// # Safety
+///
+/// `data` must point to a live `F`.
+unsafe fn call_body<F: Fn(usize) + Sync>(data: *const (), thread_id: usize) {
+    let f = unsafe { &*(data as *const F) };
+    f(thread_id);
+}
+
+/// A persistent team of worker threads with OpenMP-style fork-join
+/// parallel regions and work-sharing loops.
+///
+/// ```
+/// use perfport_pool::{Schedule, ThreadPool};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicU64::new(0);
+/// pool.parallel_for_each(1000, Schedule::StaticBlock, |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+/// ```
+pub struct ThreadPool {
+    senders: Vec<Sender<Msg>>,
+    handles: Vec<JoinHandle<()>>,
+    placements: Vec<Placement>,
+    topology: CpuTopology,
+    policy: PinPolicy,
+    regions_run: AtomicUsize,
+}
+
+impl ThreadPool {
+    /// Creates a pool of `threads` unpinned workers on a flat topology.
+    pub fn new(threads: usize) -> Self {
+        Self::with_affinity(threads, CpuTopology::flat(threads.max(1)), PinPolicy::Unpinned)
+    }
+
+    /// Creates a pool whose workers are placed on `topology` according to
+    /// `policy`. Placement is recorded for the timing models; it is not
+    /// enforced with OS affinity calls (see crate docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_affinity(threads: usize, topology: CpuTopology, policy: PinPolicy) -> Self {
+        assert!(threads > 0, "thread pool must have at least one worker");
+        let placements: Vec<Placement> = (0..threads)
+            .map(|t| place(&topology, policy, threads, t))
+            .collect();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("perfport-worker-{tid}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Run(job) => {
+                                let result = catch_unwind(AssertUnwindSafe(|| {
+                                    // SAFETY: the coordinator keeps the
+                                    // closure alive until `finish_one` has
+                                    // been called by every worker.
+                                    unsafe { (job.call)(job.data, tid) }
+                                }));
+                                if result.is_err() {
+                                    job.state.panicked.store(true, Ordering::Release);
+                                }
+                                job.state.finish_one();
+                            }
+                            Msg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        ThreadPool {
+            senders,
+            handles,
+            placements,
+            topology,
+            policy,
+            regions_run: AtomicUsize::new(0),
+        }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The topology the team is placed on.
+    pub fn topology(&self) -> CpuTopology {
+        self.topology
+    }
+
+    /// The affinity policy in effect.
+    pub fn policy(&self) -> PinPolicy {
+        self.policy
+    }
+
+    /// Recorded placement of every worker.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Number of parallel regions executed so far.
+    pub fn regions_run(&self) -> usize {
+        self.regions_run.load(Ordering::Relaxed)
+    }
+
+    /// Runs `body(thread_id)` on every worker and waits for all of them —
+    /// a bare `#pragma omp parallel`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) if any worker's body panicked.
+    pub fn run_region<F: Fn(usize) + Sync>(&self, body: &F) {
+        let state = RegionState::new(self.senders.len());
+        for tx in &self.senders {
+            let job = Job {
+                data: body as *const F as *const (),
+                call: call_body::<F>,
+                state: Arc::clone(&state),
+            };
+            tx.send(job_msg(job)).expect("worker channel closed");
+        }
+        state.wait();
+        self.regions_run.fetch_add(1, Ordering::Relaxed);
+        if state.panicked.load(Ordering::Acquire) {
+            panic!("a perfport-pool worker panicked inside a parallel region");
+        }
+    }
+
+    /// Work-sharing loop over `0..n`: `body(ctx, chunk)` is invoked for
+    /// every chunk the schedule assigns, each index reaching exactly one
+    /// invocation. Returns the region's instrumentation.
+    pub fn parallel_for<F>(&self, n: usize, schedule: Schedule, body: F) -> RegionStats
+    where
+        F: Fn(ForContext, Chunk) + Sync,
+    {
+        let team = self.num_threads();
+        let items = SlotCell::<usize>::new(team);
+        let chunks = SlotCell::<usize>::new(team);
+        let busy = SlotCell::<Duration>::new(team);
+        let cursor = DynamicCursor::new(n);
+        let placements = &self.placements;
+
+        let started = Instant::now();
+        let task = |tid: usize| {
+            let t0 = Instant::now();
+            let ctx = ForContext {
+                thread_id: tid,
+                num_threads: team,
+                placement: placements[tid],
+            };
+            let mut my_items = 0usize;
+            let mut my_chunks = 0usize;
+            if schedule.is_static() {
+                for c in StaticChunks::new(schedule, n, team, tid) {
+                    body(ctx, c);
+                    my_items += c.len();
+                    my_chunks += 1;
+                }
+            } else {
+                while let Some(c) = cursor.grab(schedule, team) {
+                    body(ctx, c);
+                    my_items += c.len();
+                    my_chunks += 1;
+                }
+            }
+            // SAFETY: each worker writes only its own slot, and the
+            // coordinator reads only after the join.
+            unsafe {
+                items.set(tid, my_items);
+                chunks.set(tid, my_chunks);
+                busy.set(tid, t0.elapsed());
+            }
+        };
+        self.run_region(&task);
+        let elapsed = started.elapsed();
+
+        let busy = busy.into_inner();
+        let max_busy = busy.iter().copied().max().unwrap_or(Duration::ZERO);
+        RegionStats {
+            items_per_thread: items.into_inner(),
+            chunks_per_thread: chunks.into_inner(),
+            elapsed,
+            fork_join_overhead: elapsed.saturating_sub(max_busy),
+        }
+    }
+
+    /// Convenience per-index variant of [`ThreadPool::parallel_for`].
+    pub fn parallel_for_each<F>(&self, n: usize, schedule: Schedule, body: F) -> RegionStats
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.parallel_for(n, schedule, |_, chunk| {
+            for i in chunk.range() {
+                body(i);
+            }
+        })
+    }
+}
+
+/// Wraps a job; separated so `Msg` construction stays next to its
+/// definition.
+fn job_msg(job: Job) -> Msg {
+    Msg::Run(job)
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // Workers may already be gone if a panic tore things down.
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn region_runs_on_every_worker() {
+        let pool = ThreadPool::new(6);
+        let mask = AtomicU64::new(0);
+        pool.run_region(&|tid| {
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b11_1111);
+        assert_eq!(pool.regions_run(), 1);
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticChunked { chunk: 3 },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            let n = 1237;
+            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let stats = pool.parallel_for_each(n, schedule, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{schedule:?} missed or duplicated an index"
+            );
+            assert_eq!(stats.total_items(), n, "{schedule:?} stats miscounted");
+        }
+    }
+
+    #[test]
+    fn parallel_for_borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let input: Vec<u64> = (0..1000).collect();
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(input.len(), Schedule::StaticBlock, |_, chunk| {
+            let local: u64 = input[chunk.range()].iter().sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+
+    #[test]
+    fn static_block_stats_are_balanced() {
+        let pool = ThreadPool::new(8);
+        let stats = pool.parallel_for_each(800, Schedule::StaticBlock, |_| {});
+        assert_eq!(stats.items_per_thread, vec![100; 8]);
+        assert_eq!(stats.chunks_per_thread, vec![1; 8]);
+        assert!((stats.imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.participation(), 1.0);
+    }
+
+    #[test]
+    fn dynamic_schedule_lets_fast_threads_take_more() {
+        let pool = ThreadPool::new(4);
+        // Make thread work heavily skewed: index 0 is very slow.
+        let stats = pool.parallel_for(256, Schedule::Dynamic { chunk: 1 }, |_, chunk| {
+            if chunk.start == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        assert_eq!(stats.total_items(), 256);
+        // The thread that got stuck on index 0 should have processed far
+        // fewer items than the busiest thread.
+        let max = *stats.items_per_thread.iter().max().unwrap();
+        let min = *stats.items_per_thread.iter().min().unwrap();
+        assert!(max > min, "dynamic schedule should be uneven under skew");
+    }
+
+    #[test]
+    fn context_reports_team_and_placement() {
+        let topo = CpuTopology::new(2, 4, 1);
+        let pool = ThreadPool::with_affinity(8, topo, PinPolicy::Compact);
+        let seen = parking_lot::Mutex::new(HashSet::new());
+        pool.parallel_for(8, Schedule::StaticBlock, |ctx, chunk| {
+            assert_eq!(ctx.num_threads, 8);
+            match ctx.placement {
+                Placement::Pinned { core, numa } => {
+                    assert_eq!(core, ctx.thread_id);
+                    assert_eq!(numa, ctx.thread_id / 4);
+                }
+                Placement::Floating => panic!("compact policy must pin"),
+            }
+            seen.lock().insert((ctx.thread_id, chunk.start));
+        });
+        assert_eq!(seen.lock().len(), 8);
+    }
+
+    #[test]
+    fn pool_survives_many_regions() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.parallel_for_each(64, Schedule::StaticBlock, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 64);
+        assert_eq!(pool.regions_run(), 200);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for_each(16, Schedule::StaticBlock, |i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must remain usable afterwards.
+        let stats = pool.parallel_for_each(8, Schedule::StaticBlock, |_| {});
+        assert_eq!(stats.total_items(), 8);
+    }
+
+    #[test]
+    fn empty_loop_is_fine() {
+        let pool = ThreadPool::new(4);
+        let stats = pool.parallel_for_each(0, Schedule::Dynamic { chunk: 8 }, |_| {
+            panic!("must not run")
+        });
+        assert_eq!(stats.total_items(), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_serially() {
+        let pool = ThreadPool::new(1);
+        let mut order = Vec::new();
+        let order_cell = parking_lot::Mutex::new(&mut order);
+        pool.parallel_for_each(10, Schedule::StaticBlock, |i| {
+            order_cell.lock().push(i);
+        });
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_join_overhead_is_measured() {
+        let pool = ThreadPool::new(2);
+        let stats = pool.parallel_for_each(2, Schedule::StaticBlock, |_| {
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        assert!(stats.elapsed >= Duration::from_millis(5));
+        assert!(stats.fork_join_overhead < stats.elapsed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = ThreadPool::new(0);
+    }
+}

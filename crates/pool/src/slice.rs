@@ -1,0 +1,206 @@
+//! Disjoint mutable slice access for row-parallel kernels.
+//!
+//! A `parallel for` over matrix rows hands every row index to exactly one
+//! thread (an invariant the schedules in this crate guarantee and test).
+//! [`DisjointSlice`] turns that scheduling invariant into memory safety: it
+//! wraps a `&mut [T]` and hands out non-overlapping row windows from
+//! multiple threads, with bounds checks ensuring windows cannot overlap
+//! unless the caller requests the same row twice — which the safety
+//! contract forbids and debug assertions help catch.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A shareable view over a mutable slice that can hand out disjoint
+/// mutable windows concurrently.
+pub struct DisjointSlice<'a, T> {
+    data: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the type only allows access to disjoint windows (per the `row`
+// contract); `T: Send` data may move between threads, and the windows act
+// like `&mut T` handed to different threads.
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice {
+            data: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the mutable window `[row * width, (row + 1) * width)`.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned slice no other live window may
+    /// include any index of the same row — i.e. each `row` must be claimed
+    /// by at most one thread at a time. The work-sharing schedules in this
+    /// crate assign each index to exactly one thread, which discharges this
+    /// obligation when `row` comes from a schedule chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window would run past the end of the slice.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row(&self, row: usize, width: usize) -> &mut [T] {
+        let start = row
+            .checked_mul(width)
+            .expect("row window offset overflows");
+        assert!(
+            start + width <= self.len,
+            "row window [{start}, {}) out of bounds (len {})",
+            start + width,
+            self.len
+        );
+        // SAFETY: bounds checked above; disjointness is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut(self.data.add(start), width) }
+    }
+
+    /// Returns a single element as a mutable reference.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`DisjointSlice::row`] with `width == 1`: no other
+    /// live reference to index `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn at(&self, i: usize) -> &mut T {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        // SAFETY: bounds checked; exclusivity is the caller's contract.
+        unsafe { &mut *self.data.add(i) }
+    }
+}
+
+/// A `Sync` array of per-thread slots; used for instrumentation and
+/// reductions where each thread touches only its own index. Each slot is
+/// its own `UnsafeCell`, so concurrent access to *different* slots never
+/// materialises aliasing references.
+pub(crate) struct SlotCell<T>(Box<[UnsafeCell<T>]>);
+
+unsafe impl<T: Send> Sync for SlotCell<T> {}
+
+impl<T: Default + Clone> SlotCell<T> {
+    pub(crate) fn new(n: usize) -> Self {
+        SlotCell((0..n).map(|_| UnsafeCell::new(T::default())).collect())
+    }
+
+    /// Writes `value` to `slot`.
+    ///
+    /// # Safety
+    ///
+    /// Each slot must be accessed by at most one thread per region, and
+    /// reads (`into_inner`) must happen only after all writers joined.
+    pub(crate) unsafe fn set(&self, slot: usize, value: T) {
+        // SAFETY: slot exclusivity is the caller's contract.
+        unsafe { *self.0[slot].get() = value };
+    }
+
+    /// Runs `f` with mutable access to `slot`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SlotCell::set`].
+    pub(crate) unsafe fn with<R>(&self, slot: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        // SAFETY: slot exclusivity is the caller's contract.
+        f(unsafe { &mut *self.0[slot].get() })
+    }
+
+    pub(crate) fn into_inner(self) -> Vec<T> {
+        self.0.into_vec().into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_disjoint_views() {
+        let mut data = vec![0u32; 12];
+        let ds = DisjointSlice::new(&mut data);
+        // SAFETY: rows 0..3 accessed once each.
+        unsafe {
+            for r in 0..3 {
+                let row = ds.row(r, 4);
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = (r * 4 + j) as u32;
+                }
+            }
+        }
+        assert_eq!(data, (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn concurrent_disjoint_writes() {
+        let n = 64;
+        let width = 128;
+        let mut data = vec![0usize; n * width];
+        let ds = DisjointSlice::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ds = &ds;
+                s.spawn(move || {
+                    for r in (t..n).step_by(4) {
+                        // SAFETY: r is visited by exactly one thread
+                        // (stride-4 partition).
+                        let row = unsafe { ds.row(r, width) };
+                        for x in row.iter_mut() {
+                            *x = r + 1;
+                        }
+                    }
+                });
+            }
+        });
+        for r in 0..n {
+            assert!(data[r * width..(r + 1) * width].iter().all(|&x| x == r + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_row_panics() {
+        let mut data = vec![0u8; 10];
+        let ds = DisjointSlice::new(&mut data);
+        // SAFETY: sole access; panics on bounds before any aliasing.
+        let _ = unsafe { ds.row(2, 4) };
+    }
+
+    #[test]
+    fn at_gives_single_elements() {
+        let mut data = vec![1i64, 2, 3];
+        let ds = DisjointSlice::new(&mut data);
+        // SAFETY: indices accessed exclusively.
+        unsafe {
+            *ds.at(1) = 20;
+        }
+        assert_eq!(data, vec![1, 20, 3]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut data = vec![0u8; 5];
+        let ds = DisjointSlice::new(&mut data);
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+        let mut empty: Vec<u8> = vec![];
+        let ds = DisjointSlice::new(&mut empty);
+        assert!(ds.is_empty());
+    }
+}

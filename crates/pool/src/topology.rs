@@ -1,0 +1,227 @@
+//! CPU topology description and thread-affinity policies.
+//!
+//! Placement here is *bookkeeping*: the pool records which core each worker
+//! would be bound to under a policy, and the analytical timing models use
+//! that record to estimate NUMA locality. This mirrors how the paper treats
+//! pinning — as a configuration that changes memory locality
+//! (`OMP_PROC_BIND=true OMP_PLACES=threads`, `JULIA_EXCLUSIVE=1`) — and
+//! cleanly captures the Numba gap (no pinning API at all).
+
+use std::fmt;
+
+/// Physical CPU topology relevant to thread placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuTopology {
+    /// Number of NUMA domains (e.g. 4 NPS domains on Crusher's EPYC 7A53,
+    /// 1 on Wombat's Ampere Altra).
+    pub numa_domains: usize,
+    /// Physical cores per NUMA domain.
+    pub cores_per_domain: usize,
+    /// Hardware threads per core (SMT); the paper's runs use one thread per
+    /// physical core.
+    pub smt: usize,
+}
+
+impl CpuTopology {
+    /// Builds a topology; all fields must be non-zero.
+    pub fn new(numa_domains: usize, cores_per_domain: usize, smt: usize) -> Self {
+        assert!(numa_domains > 0 && cores_per_domain > 0 && smt > 0);
+        CpuTopology {
+            numa_domains,
+            cores_per_domain,
+            smt,
+        }
+    }
+
+    /// A flat single-domain topology with `cores` cores and no SMT.
+    pub fn flat(cores: usize) -> Self {
+        CpuTopology::new(1, cores, 1)
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> usize {
+        self.numa_domains * self.cores_per_domain
+    }
+
+    /// Total schedulable hardware threads.
+    pub fn total_hw_threads(&self) -> usize {
+        self.total_cores() * self.smt
+    }
+
+    /// NUMA domain that owns physical `core`.
+    pub fn domain_of(&self, core: usize) -> usize {
+        debug_assert!(core < self.total_cores());
+        core / self.cores_per_domain
+    }
+}
+
+/// Thread-affinity policy, in the spirit of `OMP_PROC_BIND`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinPolicy {
+    /// No binding — the OS migrates threads freely. The only option in
+    /// Python/Numba, which the paper identifies as a performance limiter on
+    /// the 4-NUMA EPYC.
+    #[default]
+    Unpinned,
+    /// Fill cores in ascending order (`OMP_PROC_BIND=close`,
+    /// `JULIA_EXCLUSIVE=1` strict order).
+    Compact,
+    /// Round-robin threads across NUMA domains first
+    /// (`OMP_PROC_BIND=spread`).
+    Spread,
+}
+
+impl fmt::Display for PinPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinPolicy::Unpinned => write!(f, "unpinned"),
+            PinPolicy::Compact => write!(f, "compact"),
+            PinPolicy::Spread => write!(f, "spread"),
+        }
+    }
+}
+
+/// Where one worker thread lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Bound to a specific physical core.
+    Pinned {
+        /// Physical core index.
+        core: usize,
+        /// NUMA domain owning that core.
+        numa: usize,
+    },
+    /// Free-floating; the scheduler may run it anywhere.
+    Floating,
+}
+
+impl Placement {
+    /// The NUMA domain, if bound.
+    pub fn numa(&self) -> Option<usize> {
+        match self {
+            Placement::Pinned { numa, .. } => Some(*numa),
+            Placement::Floating => None,
+        }
+    }
+}
+
+/// Computes the placement of `thread` in a team of `threads` under
+/// `policy` on `topo`.
+///
+/// Threads beyond the core count wrap around (oversubscription), matching
+/// `OMP_PLACES=threads` semantics.
+pub fn place(topo: &CpuTopology, policy: PinPolicy, threads: usize, thread: usize) -> Placement {
+    debug_assert!(thread < threads);
+    let cores = topo.total_cores();
+    match policy {
+        PinPolicy::Unpinned => Placement::Floating,
+        PinPolicy::Compact => {
+            let core = thread % cores;
+            Placement::Pinned {
+                core,
+                numa: topo.domain_of(core),
+            }
+        }
+        PinPolicy::Spread => {
+            // Distribute round-robin over domains, then within a domain.
+            let d = thread % topo.numa_domains;
+            let slot = (thread / topo.numa_domains) % topo.cores_per_domain;
+            let core = d * topo.cores_per_domain + slot;
+            Placement::Pinned {
+                core,
+                numa: d,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn topology_arithmetic() {
+        let t = CpuTopology::new(4, 16, 2);
+        assert_eq!(t.total_cores(), 64);
+        assert_eq!(t.total_hw_threads(), 128);
+        assert_eq!(t.domain_of(0), 0);
+        assert_eq!(t.domain_of(15), 0);
+        assert_eq!(t.domain_of(16), 1);
+        assert_eq!(t.domain_of(63), 3);
+    }
+
+    #[test]
+    fn flat_topology() {
+        let t = CpuTopology::flat(80);
+        assert_eq!(t.numa_domains, 1);
+        assert_eq!(t.total_cores(), 80);
+        assert_eq!(t.domain_of(79), 0);
+    }
+
+    #[test]
+    fn compact_fills_cores_in_order() {
+        let t = CpuTopology::new(4, 16, 1);
+        for i in 0..64 {
+            match place(&t, PinPolicy::Compact, 64, i) {
+                Placement::Pinned { core, numa } => {
+                    assert_eq!(core, i);
+                    assert_eq!(numa, i / 16);
+                }
+                Placement::Floating => panic!("compact must pin"),
+            }
+        }
+    }
+
+    #[test]
+    fn compact_distinct_cores_up_to_core_count() {
+        let t = CpuTopology::new(4, 16, 1);
+        let cores: HashSet<_> = (0..64)
+            .map(|i| match place(&t, PinPolicy::Compact, 64, i) {
+                Placement::Pinned { core, .. } => core,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cores.len(), 64);
+    }
+
+    #[test]
+    fn spread_round_robins_domains() {
+        let t = CpuTopology::new(4, 16, 1);
+        let numas: Vec<_> = (0..8)
+            .map(|i| place(&t, PinPolicy::Spread, 8, i).numa().unwrap())
+            .collect();
+        assert_eq!(numas, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // No core is double-booked within the first 64 threads.
+        let cores: HashSet<_> = (0..64)
+            .map(|i| match place(&t, PinPolicy::Spread, 64, i) {
+                Placement::Pinned { core, .. } => core,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(cores.len(), 64);
+    }
+
+    #[test]
+    fn unpinned_floats() {
+        let t = CpuTopology::new(4, 16, 1);
+        assert_eq!(place(&t, PinPolicy::Unpinned, 64, 5), Placement::Floating);
+        assert_eq!(place(&t, PinPolicy::Unpinned, 64, 5).numa(), None);
+    }
+
+    #[test]
+    fn oversubscription_wraps() {
+        let t = CpuTopology::flat(4);
+        match place(&t, PinPolicy::Compact, 8, 6) {
+            Placement::Pinned { core, .. } => assert_eq!(core, 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(PinPolicy::Unpinned.to_string(), "unpinned");
+        assert_eq!(PinPolicy::Compact.to_string(), "compact");
+        assert_eq!(PinPolicy::Spread.to_string(), "spread");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for scheduling invariants: every schedule must be
+//! an exact partition of the iteration space, for any loop size, team
+//! size, and chunk parameter.
+
+use perfport_pool::{Schedule, StaticChunks, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn check_static_partition(schedule: Schedule, n: usize, threads: usize) {
+    let mut hits = vec![0u8; n];
+    for t in 0..threads {
+        for c in StaticChunks::new(schedule, n, threads, t) {
+            assert!(c.end <= n, "chunk escapes the range");
+            for i in c.range() {
+                hits[i] += 1;
+            }
+        }
+    }
+    assert!(hits.iter().all(|&h| h == 1), "{schedule:?} not a partition");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_block_partitions(n in 0usize..5000, threads in 1usize..65) {
+        check_static_partition(Schedule::StaticBlock, n, threads);
+    }
+
+    #[test]
+    fn static_chunked_partitions(
+        n in 0usize..5000,
+        threads in 1usize..65,
+        chunk in 1usize..200,
+    ) {
+        check_static_partition(Schedule::StaticChunked { chunk }, n, threads);
+    }
+
+    /// Static block chunks are contiguous, ordered by thread id, and their
+    /// sizes never differ by more than one.
+    #[test]
+    fn static_block_shape(n in 0usize..5000, threads in 1usize..65) {
+        let mut end = 0;
+        let mut sizes = Vec::new();
+        for t in 0..threads {
+            let chunks: Vec<_> = StaticChunks::new(Schedule::StaticBlock, n, threads, t).collect();
+            prop_assert!(chunks.len() <= 1);
+            if let Some(c) = chunks.first() {
+                prop_assert_eq!(c.start, end);
+                end = c.end;
+                sizes.push(c.len());
+            }
+        }
+        prop_assert_eq!(end, n);
+        if let (Some(max), Some(min)) = (sizes.iter().max(), sizes.iter().min()) {
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    /// Running a loop on a real pool covers each index exactly once under
+    /// every schedule family.
+    #[test]
+    fn pool_execution_partitions(
+        n in 0usize..2000,
+        threads in 1usize..9,
+        chunk in 1usize..64,
+        which in 0usize..4,
+    ) {
+        let schedule = match which {
+            0 => Schedule::StaticBlock,
+            1 => Schedule::StaticChunked { chunk },
+            2 => Schedule::Dynamic { chunk },
+            _ => Schedule::Guided { min_chunk: chunk },
+        };
+        let pool = ThreadPool::new(threads);
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let stats = pool.parallel_for_each(n, schedule, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        prop_assert_eq!(stats.total_items(), n);
+        prop_assert!(stats.imbalance() >= 1.0 - 1e-12);
+    }
+}

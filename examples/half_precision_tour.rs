@@ -1,0 +1,75 @@
+//! A tour of the half-precision substrate: the numerics behind the
+//! paper's FP16 experiments (Figs. 5c, 6c, 7c) and why "FP16" results
+//! need care to interpret.
+//!
+//! ```bash
+//! cargo run --release --example half_precision_tour
+//! ```
+
+use perfport::gemm::{gemm_reference_f64, gpu_gemm, gpu_gemm_mixed, GpuVariant, Layout, Matrix};
+use perfport::gpusim::{Dim3, Gpu};
+use perfport::half::F16;
+
+fn main() {
+    println!("== binary16 basics ==");
+    println!("  max finite       : {}", F16::MAX);
+    println!("  machine epsilon  : {}", F16::EPSILON);
+    println!("  smallest normal  : {:e}", F16::MIN_POSITIVE.to_f32());
+    println!("  65504 + 32       : {} (saturates!)", F16::MAX + F16::from_f32(32.0));
+    println!(
+        "  2048 + 1         : {} (integers above 2048 are not representable)",
+        F16::from_f32(2048.0) + F16::ONE
+    );
+
+    println!();
+    println!("== accumulation error: pure FP16 vs FP16-in / FP32-accumulate ==");
+    println!("  (this is exactly the paper's Fig. 1c design choice)");
+    let n = 256;
+    let a = Matrix::<F16>::random(n, n, Layout::RowMajor, 1);
+    let b = Matrix::<F16>::random(n, n, Layout::RowMajor, 2);
+    let reference = gemm_reference_f64(&a, &b);
+
+    let gpu = Gpu::new(GpuVariant::JuliaAmdGpu.device_class());
+    let block = Dim3::d2(32, 32);
+    let (pure, _) = gpu_gemm::<F16>(&gpu, GpuVariant::JuliaAmdGpu, &a, &b, block).unwrap();
+    let (mixed, _) =
+        gpu_gemm_mixed::<F16, f32>(&gpu, GpuVariant::JuliaAmdGpu, &a, &b, block).unwrap();
+
+    let pure_err = to_f64(&pure).max_abs_diff(&reference);
+    let mixed_err = to_f64(&mixed).max_abs_diff(&reference);
+    println!("  k = {n} dot products over uniform [0,1) inputs:");
+    println!("  pure FP16 accumulate : max abs error {pure_err:.3}");
+    println!("  FP32 accumulate      : max abs error {mixed_err:.5}");
+    println!(
+        "  -> {}x more accurate with single-precision storage",
+        (pure_err / mixed_err).round()
+    );
+
+    println!();
+    println!("== the NumPy float16 RNG gap ==");
+    println!(
+        "  The paper had to fill Numba's FP16 matrices with ones. With C = A.B and\n\
+         \u{20}  all-ones inputs, every element of C is exactly k — benchmark traffic is\n\
+         \u{20}  real but cache behaviour and rounding are not representative:"
+    );
+    let ones_a = Matrix::<F16>::ones(64, 512, Layout::RowMajor);
+    let ones_b = Matrix::<F16>::ones(512, 64, Layout::RowMajor);
+    let (c_ones, _) = gpu_gemm::<F16>(&gpu, GpuVariant::JuliaAmdGpu, &ones_a, &ones_b, block)
+        .unwrap();
+    println!(
+        "  all-ones GEMM with k=512: C[0,0] = {} (exact, 512 fits in FP16's integer range)",
+        c_ones[(0, 0)]
+    );
+    let ones_big_a = Matrix::<F16>::ones(32, 4096, Layout::RowMajor);
+    let ones_big_b = Matrix::<F16>::ones(4096, 32, Layout::RowMajor);
+    let (c_big, _) = gpu_gemm::<F16>(&gpu, GpuVariant::JuliaAmdGpu, &ones_big_a, &ones_big_b, block)
+        .unwrap();
+    println!(
+        "  all-ones GEMM with k=4096: C[0,0] = {} (rounding plateaus above 2048!)",
+        c_big[(0, 0)]
+    );
+}
+
+fn to_f64<T: perfport::gemm::Scalar>(m: &Matrix<T>) -> Matrix<f64> {
+    m.to_layout(Layout::RowMajor).cast()
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run one experiment end to end.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Measures the hand-rolled GEMM for Julia's CUDA.jl on the modelled
+//! A100, verifies the kernel functionally on the SIMT simulator, and
+//! prints the throughput sweep next to the vendor CUDA curve.
+
+use perfport::core::{run_experiment, Experiment};
+use perfport::machines::Precision;
+use perfport::models::{Arch, ProgModel};
+
+fn main() {
+    let sizes = vec![2048, 4096, 8192, 16384];
+
+    let cuda = run_experiment(&Experiment::new(
+        Arch::A100,
+        ProgModel::Cuda,
+        Precision::Double,
+        sizes.clone(),
+    ))
+    .expect("vendor CUDA runs");
+
+    let julia = run_experiment(&Experiment::new(
+        Arch::A100,
+        ProgModel::JuliaCudaJl,
+        Precision::Double,
+        sizes.clone(),
+    ))
+    .expect("CUDA.jl runs");
+
+    println!("Hand-rolled FP64 GEMM on {} ({})", Arch::A100, Arch::A100.system());
+    println!(
+        "kernel verified against the f64 reference: max rel err {:.2e} (CUDA), {:.2e} (CUDA.jl)",
+        cuda.verification_rel_err, julia.verification_rel_err
+    );
+    println!(
+        "JIT warm-up excluded per the paper's protocol: {:.1}s for CUDA.jl",
+        julia.warmup_excluded_s
+    );
+    println!();
+    println!("{:>8} {:>14} {:>16} {:>12}", "N", "CUDA GF/s", "CUDA.jl GF/s", "efficiency");
+    for &n in &sizes {
+        let c = cuda.at(n).unwrap();
+        let j = julia.at(n).unwrap();
+        println!(
+            "{:>8} {:>14.1} {:>16.1} {:>12.3}",
+            n,
+            c.gflops,
+            j.gflops,
+            j.gflops / c.gflops
+        );
+    }
+    println!();
+    println!(
+        "The constant gap is the paper's Fig. 7a observation: CUDA.jl's generated \
+         PTX unrolls the inner loop 2x where nvcc unrolls 4x."
+    );
+}

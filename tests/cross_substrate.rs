@@ -1,0 +1,146 @@
+//! Cross-substrate consistency: the same GEMM computed by every engine
+//! in the workspace must agree numerically — serial kernels, the
+//! work-sharing pool, the SIMT simulator, and the mixed-precision paths.
+
+use perfport::gemm::{
+    gemm_reference_f64, gpu_gemm, par_gemm, serial::gemm_loop_order, CpuVariant, GpuVariant,
+    Layout, LoopOrder, Matrix, Scalar,
+};
+use perfport::gpusim::{Dim3, Gpu};
+use perfport::half::F16;
+use perfport::metrics::productivity;
+use perfport::pool::{Schedule, ThreadPool};
+
+/// CPU (pool) and GPU (simulator) executions of the same problem agree
+/// to round-off.
+#[test]
+fn cpu_pool_and_gpu_sim_agree() {
+    let (m, k, n) = (64usize, 48, 80);
+    let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 11);
+    let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 12);
+
+    let pool = ThreadPool::new(4);
+    let mut c_cpu = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+    par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c_cpu, Schedule::StaticBlock);
+
+    let gpu = Gpu::new(GpuVariant::Cuda.device_class());
+    let (c_gpu, stats) = gpu_gemm(&gpu, GpuVariant::Cuda, &a, &b, Dim3::d2(16, 16)).unwrap();
+
+    assert!(c_cpu.max_abs_diff(&c_gpu) < 1e-12);
+    assert_eq!(stats.flops, 2 * (m * n * k) as u64);
+}
+
+/// All four CPU variants, all six loop orders, and all seven GPU
+/// variants agree on one random problem.
+#[test]
+fn seventeen_engines_one_answer() {
+    let n = 40usize;
+    let a_row = Matrix::<f64>::random(n, n, Layout::RowMajor, 21);
+    let b_row = Matrix::<f64>::random(n, n, Layout::RowMajor, 22);
+    let reference = gemm_reference_f64(&a_row, &b_row);
+    let tol = 1e-11;
+
+    for order in LoopOrder::ALL {
+        let mut c = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+        gemm_loop_order(order, &a_row, &b_row, &mut c);
+        assert!(c.max_abs_diff(&reference) < tol, "loop order {}", order.name());
+    }
+    for v in CpuVariant::ALL {
+        let layout = v.layout();
+        let a = a_row.to_layout(layout);
+        let b = b_row.to_layout(layout);
+        let mut c = Matrix::<f64>::zeros(n, n, layout);
+        v.run_serial(&a, &b, &mut c);
+        assert!(
+            c.to_layout(Layout::RowMajor).max_abs_diff(&reference) < tol,
+            "cpu variant {v}"
+        );
+    }
+    for v in GpuVariant::ALL {
+        let gpu = Gpu::new(v.device_class());
+        let (c, _) = gpu_gemm(&gpu, v, &a_row, &b_row, Dim3::d2(8, 8)).unwrap();
+        assert!(
+            c.to_layout(Layout::RowMajor).max_abs_diff(&reference) < tol,
+            "gpu variant {v}"
+        );
+    }
+}
+
+/// Precision ladder: error shrinks as precision grows, on both engines.
+#[test]
+fn precision_ladder_is_monotone() {
+    fn gpu_err<T: Scalar>(seed: u64) -> f64 {
+        let n = 96usize;
+        let a = Matrix::<T>::random(n, n, Layout::RowMajor, seed);
+        let b = Matrix::<T>::random(n, n, Layout::RowMajor, seed + 1);
+        let reference = gemm_reference_f64(&a, &b);
+        let gpu = Gpu::new(GpuVariant::Hip.device_class());
+        let (c, _) = gpu_gemm(&gpu, GpuVariant::Hip, &a, &b, Dim3::d2(32, 32)).unwrap();
+        let cast: Matrix<f64> = c.to_layout(Layout::RowMajor).cast();
+        cast.max_abs_diff(&reference)
+    }
+    let e64 = gpu_err::<f64>(31);
+    let e32 = gpu_err::<f32>(31);
+    let e16 = gpu_err::<F16>(31);
+    assert!(e64 < e32, "{e64} !< {e32}");
+    assert!(e32 < e16, "{e32} !< {e16}");
+    assert!(e16 < 1.0, "even half stays bounded for k=96");
+}
+
+/// AMD wavefronts (64) vs NVIDIA warps (32) change warp counts but not
+/// results or element traffic.
+#[test]
+fn device_class_changes_warps_not_results() {
+    let n = 64usize;
+    let a = Matrix::<f32>::random(n, n, Layout::RowMajor, 41);
+    let b = Matrix::<f32>::random(n, n, Layout::RowMajor, 42);
+    let (c_nv, s_nv) = gpu_gemm(
+        &Gpu::new(GpuVariant::Cuda.device_class()),
+        GpuVariant::Cuda,
+        &a,
+        &b,
+        Dim3::d2(32, 32),
+    )
+    .unwrap();
+    let (c_amd, s_amd) = gpu_gemm(
+        &Gpu::new(GpuVariant::Hip.device_class()),
+        GpuVariant::Hip,
+        &a,
+        &b,
+        Dim3::d2(32, 32),
+    )
+    .unwrap();
+    assert_eq!(c_nv.max_abs_diff(&c_amd), 0.0, "identical kernel, identical result");
+    assert_eq!(s_nv.loads, s_amd.loads);
+    assert_eq!(s_nv.warps, 2 * s_amd.warps, "64-wide wavefronts halve the warp count");
+}
+
+/// The productivity metrics order the snippets plausibly: every model's
+/// kernel is small, and each contains parallel annotations.
+#[test]
+fn productivity_metrics_on_paper_snippets() {
+    for v in CpuVariant::ALL {
+        let p = productivity(v.source_snippet());
+        assert!(p.lines >= 8 && p.lines <= 16, "{v}: {} lines", p.lines);
+        assert!(p.parallel_annotations >= 1, "{v} has no parallel annotation");
+    }
+    // The paper's qualitative point: OpenMP needs a single pragma on a
+    // serial loop; Kokkos restructures the whole kernel as a lambda.
+    let openmp = productivity(CpuVariant::OpenMpC.source_snippet());
+    let kokkos = productivity(CpuVariant::KokkosLambda.source_snippet());
+    assert!(kokkos.parallel_annotations >= openmp.parallel_annotations);
+}
+
+/// Scheduling stats from the pool feed imbalance exactly once per index.
+#[test]
+fn pool_stats_consistent_with_gemm_shape() {
+    let pool = ThreadPool::new(3);
+    let (m, k, n) = (31usize, 16, 17);
+    let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 51);
+    let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 52);
+    let mut c = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+    let stats = par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c, Schedule::Dynamic { chunk: 4 });
+    assert_eq!(stats.total_items(), m, "one work item per row");
+    assert!(stats.imbalance() >= 1.0);
+    assert!(perfport::gemm::verify_gemm(&a, &b, &c).is_ok());
+}
