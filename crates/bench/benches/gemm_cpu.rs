@@ -22,7 +22,9 @@ fn bench_loop_orders(c: &mut Criterion) {
     let a = Matrix::<f64>::random(N, N, Layout::RowMajor, 1);
     let b = Matrix::<f64>::random(N, N, Layout::RowMajor, 2);
     let mut group = quick(c).benchmark_group("loop_orders_f64_rowmajor");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.throughput(criterion::Throughput::Elements(gemm_flops(N, N, N)));
     for order in LoopOrder::ALL {
         group.bench_function(order.name(), |bench| {
@@ -38,7 +40,9 @@ fn bench_loop_orders(c: &mut Criterion) {
 
 fn bench_variants(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("model_variants_serial_f64");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for v in CpuVariant::ALL {
         let layout = v.layout();
         let a = Matrix::<f64>::random(N, N, layout, 1);
@@ -56,7 +60,9 @@ fn bench_variants(c: &mut Criterion) {
 
 fn bench_precisions(c: &mut Criterion) {
     let mut group = quick(c).benchmark_group("precision_serial_ikj");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     macro_rules! prec_case {
         ($t:ty, $label:expr) => {
@@ -82,25 +88,31 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let a = Matrix::<f64>::random(n, n, Layout::RowMajor, 1);
     let b = Matrix::<f64>::random(n, n, Layout::RowMajor, 2);
     let mut group = quick(c).benchmark_group("thread_scaling_openmp_style");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let max = std::thread::available_parallelism().map_or(2, |p| p.get().min(8));
     let mut threads = 1;
     while threads <= max {
         let pool = ThreadPool::new(threads);
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &pool, |bench, pool| {
-            bench.iter(|| {
-                let mut cm = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
-                par_gemm(
-                    pool,
-                    CpuVariant::OpenMpC,
-                    black_box(&a),
-                    black_box(&b),
-                    &mut cm,
-                    Schedule::StaticBlock,
-                );
-                black_box(cm)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &pool,
+            |bench, pool| {
+                bench.iter(|| {
+                    let mut cm = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+                    par_gemm(
+                        pool,
+                        CpuVariant::OpenMpC,
+                        black_box(&a),
+                        black_box(&b),
+                        &mut cm,
+                        Schedule::StaticBlock,
+                    );
+                    black_box(cm)
+                })
+            },
+        );
         threads *= 2;
     }
     group.finish();
@@ -113,7 +125,9 @@ fn bench_schedules(c: &mut Criterion) {
     let threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(8));
     let pool = ThreadPool::new(threads);
     let mut group = quick(c).benchmark_group("schedule_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (label, schedule) in [
         ("static_block", Schedule::StaticBlock),
         ("static_chunk4", Schedule::StaticChunked { chunk: 4 }),
@@ -142,7 +156,9 @@ fn bench_tiles(c: &mut Criterion) {
     let a = Matrix::<f64>::random(N, N, Layout::RowMajor, 1);
     let b = Matrix::<f64>::random(N, N, Layout::RowMajor, 2);
     let mut group = quick(c).benchmark_group("tile_sweep_blocked_gemm");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for tile in [8usize, 16, 32, 64, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |bench, &tile| {
             bench.iter(|| {

@@ -10,24 +10,27 @@ use std::time::Duration;
 
 fn bench_sim_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_gemm_launch");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [64usize, 128] {
         let a = Matrix::<f32>::random(n, n, Layout::RowMajor, 1);
         let b = Matrix::<f32>::random(n, n, Layout::RowMajor, 2);
         for variant in [GpuVariant::Cuda, GpuVariant::Hip] {
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), n),
-                &n,
-                |bench, _| {
-                    let gpu = Gpu::new(variant.device_class());
-                    bench.iter(|| {
-                        let (cm, stats) =
-                            gpu_gemm(&gpu, variant, black_box(&a), black_box(&b), Dim3::d2(16, 16))
-                                .unwrap();
-                        black_box((cm, stats))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(variant.name(), n), &n, |bench, _| {
+                let gpu = Gpu::new(variant.device_class());
+                bench.iter(|| {
+                    let (cm, stats) = gpu_gemm(
+                        &gpu,
+                        variant,
+                        black_box(&a),
+                        black_box(&b),
+                        Dim3::d2(16, 16),
+                    )
+                    .unwrap();
+                    black_box((cm, stats))
+                })
+            });
         }
     }
     group.finish();
@@ -35,7 +38,9 @@ fn bench_sim_gemm(c: &mut Criterion) {
 
 fn bench_race_detector(c: &mut Criterion) {
     let mut group = c.benchmark_group("race_detector_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 4096usize;
     for (label, detect) in [("off", false), ("on", true)] {
         group.bench_function(label, |bench| {
@@ -65,7 +70,9 @@ fn bench_race_detector(c: &mut Criterion) {
 
 fn bench_host_parallelism(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_host_parallelism");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 96usize;
     let a = Matrix::<f64>::random(n, n, Layout::RowMajor, 1);
     let b = Matrix::<f64>::random(n, n, Layout::RowMajor, 2);
@@ -105,5 +112,10 @@ fn bench_host_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim_gemm, bench_race_detector, bench_host_parallelism);
+criterion_group!(
+    benches,
+    bench_sim_gemm,
+    bench_race_detector,
+    bench_host_parallelism
+);
 criterion_main!(benches);

@@ -11,11 +11,16 @@ const N: usize = 4096;
 
 fn bench_conversion(c: &mut Criterion) {
     let mut group = c.benchmark_group("half_conversion");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let floats: Vec<f32> = (0..N).map(|i| i as f32 * 0.37).collect();
     group.bench_function("f32_to_f16", |b| {
         b.iter(|| {
-            let v: Vec<F16> = black_box(&floats).iter().map(|&x| F16::from_f32(x)).collect();
+            let v: Vec<F16> = black_box(&floats)
+                .iter()
+                .map(|&x| F16::from_f32(x))
+                .collect();
             black_box(v)
         })
     });
@@ -31,7 +36,9 @@ fn bench_conversion(c: &mut Criterion) {
 
 fn bench_axpy(c: &mut Criterion) {
     let mut group = c.benchmark_group("half_axpy_vs_f32");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let xs32: Vec<f32> = (0..N).map(|i| (i % 100) as f32 * 0.01).collect();
     let xs16: Vec<F16> = xs32.iter().map(|&x| F16::from_f32(x)).collect();
     group.bench_function("f32", |b| {

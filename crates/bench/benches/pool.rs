@@ -10,13 +10,17 @@ use std::time::Duration;
 
 fn bench_fork_join(c: &mut Criterion) {
     let mut group = c.benchmark_group("fork_join_empty_region");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for threads in [1usize, 2, 4] {
         let pool = ThreadPool::new(threads);
         group.bench_with_input(BenchmarkId::from_parameter(threads), &pool, |b, pool| {
-            b.iter(|| pool.run_region(&|tid| {
-                black_box(tid);
-            }))
+            b.iter(|| {
+                pool.run_region(&|tid| {
+                    black_box(tid);
+                })
+            })
         });
     }
     group.finish();
@@ -24,7 +28,9 @@ fn bench_fork_join(c: &mut Criterion) {
 
 fn bench_schedule_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_dispatch_10k_items");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let pool = ThreadPool::new(4);
     let counter = AtomicU64::new(0);
     for (label, schedule) in [
@@ -47,7 +53,9 @@ fn bench_schedule_dispatch(c: &mut Criterion) {
 
 fn bench_barrier(c: &mut Criterion) {
     let mut group = c.benchmark_group("sense_barrier_100_phases");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for team in [2usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(team), &team, |b, &team| {
             b.iter(|| {
@@ -68,5 +76,10 @@ fn bench_barrier(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fork_join, bench_schedule_dispatch, bench_barrier);
+criterion_group!(
+    benches,
+    bench_fork_join,
+    bench_schedule_dispatch,
+    bench_barrier
+);
 criterion_main!(benches);

@@ -72,12 +72,7 @@ fn schedule_ablation() {
         let t0 = Instant::now();
         let stats = par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c, schedule);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        println!(
-            "  {:<40} {:>10.2} {:>10.3}",
-            label,
-            ms,
-            stats.imbalance()
-        );
+        println!("  {:<40} {:>10.2} {:>10.3}", label, ms, stats.imbalance());
     }
     println!();
 }
@@ -92,10 +87,24 @@ fn granularity_ablation() {
     let b = Matrix::<f64>::random(n, n, perfport_gemm::Layout::RowMajor, 4);
 
     let mut c = Matrix::<f64>::zeros(n, n, perfport_gemm::Layout::RowMajor);
-    par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c, Schedule::StaticBlock);
+    par_gemm(
+        &pool,
+        CpuVariant::OpenMpC,
+        &a,
+        &b,
+        &mut c,
+        Schedule::StaticBlock,
+    );
     c.fill_zero();
     let t0 = Instant::now();
-    par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c, Schedule::StaticBlock);
+    par_gemm(
+        &pool,
+        CpuVariant::OpenMpC,
+        &a,
+        &b,
+        &mut c,
+        Schedule::StaticBlock,
+    );
     let coarse_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let mut c2 = Matrix::<f64>::zeros(n, n, perfport_gemm::Layout::RowMajor);

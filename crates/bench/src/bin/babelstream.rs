@@ -8,9 +8,7 @@ use perfport_pool::ThreadPool;
 
 fn main() {
     // Functional pass on the host first (every kernel verified).
-    let pool = ThreadPool::new(
-        std::thread::available_parallelism().map_or(2, |p| p.get().min(8)),
-    );
+    let pool = ThreadPool::new(std::thread::available_parallelism().map_or(2, |p| p.get().min(8)));
     for kernel in StreamKernel::ALL {
         let _ = run_stream_kernel(&pool, kernel, 1 << 20);
     }

@@ -7,8 +7,8 @@
 //! kernels on the build host, following the paper's protocol: one warm-up
 //! run excluded, then the mean of five repetitions.
 
-use perfport_gemm::{gemm_flops, par_gemm, CpuVariant, LoopOrder, Matrix, Scalar};
 use perfport_gemm::serial::gemm_loop_order;
+use perfport_gemm::{gemm_flops, par_gemm, CpuVariant, LoopOrder, Matrix, Scalar};
 use perfport_half::F16;
 use perfport_pool::{Schedule, ThreadPool};
 use std::time::Instant;

@@ -5,8 +5,12 @@ use perfport_core::{render_report, reproduction_report};
 
 fn main() {
     let args = perfport_bench::HarnessArgs::from_env();
+    let trace = args.start_trace();
     let anchors = reproduction_report(&args.config());
     print!("{}", render_report(&anchors));
+    if let Some(trace) = trace {
+        trace.finish();
+    }
     if anchors.iter().any(|a| !a.matches()) {
         std::process::exit(1);
     }

@@ -27,7 +27,12 @@ fn main() {
             print!("  {:>16}", m.name());
         }
         println!();
-        let counts = results[0].1.points.iter().map(|p| p.threads).collect::<Vec<_>>();
+        let counts = results[0]
+            .1
+            .points
+            .iter()
+            .map(|p| p.threads)
+            .collect::<Vec<_>>();
         for &t in &counts {
             print!("{t:>8}");
             for (_, r) in &results {

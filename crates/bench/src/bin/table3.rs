@@ -7,10 +7,14 @@ use perfport_machines::Precision;
 
 fn main() {
     let args = perfport_bench::HarnessArgs::from_env();
+    let trace = args.start_trace();
     let cfg = args.config();
     let reports = vec![
         efficiency_table(Precision::Double, &cfg),
         efficiency_table(Precision::Single, &cfg),
     ];
     println!("{}", render_table3(&reports));
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }

@@ -8,7 +8,10 @@ use perfport_models::{cpu_profile, gpu_profile, support, Arch, ProgModel};
 
 fn main() {
     println!("Table I: CPU experiment specs");
-    println!("  {:<18} {:>22} {:>22}", "", "Wombat (Arm)", "Crusher (AMD)");
+    println!(
+        "  {:<18} {:>22} {:>22}",
+        "", "Wombat (Arm)", "Crusher (AMD)"
+    );
     let altra = Arch::AmpereAltra.cpu_machine().unwrap();
     let epyc = Arch::Epyc7A53.cpu_machine().unwrap();
     println!("  {:<18} {:>22} {:>22}", "Model", altra.name, epyc.name);
@@ -51,14 +54,8 @@ fn main() {
     println!("Table II: GPU experiment specs");
     let a100 = Arch::A100.gpu_machine().unwrap();
     let mi = Arch::Mi250x.gpu_machine().unwrap();
-    println!(
-        "  {:<18} {:>22} {:>22}",
-        "Model", a100.name, mi.name
-    );
-    println!(
-        "  {:<18} {:>22} {:>22}",
-        "SMs/CUs", a100.sms, mi.sms
-    );
+    println!("  {:<18} {:>22} {:>22}", "Model", a100.name, mi.name);
+    println!("  {:<18} {:>22} {:>22}", "SMs/CUs", a100.sms, mi.sms);
     println!(
         "  {:<18} {:>22} {:>22}",
         "FP64 peak (GF/s)",

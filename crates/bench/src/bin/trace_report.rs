@@ -1,0 +1,54 @@
+//! Summarizes a Chrome trace written by `--trace`: hierarchical span
+//! statistics (count / total / mean / min / max) plus counter stats.
+//!
+//! ```text
+//! cargo run -p perfport-bench --bin fig7 -- --quick --trace /tmp/fig7.trace
+//! cargo run -p perfport-bench --bin trace_report -- /tmp/fig7.trace
+//! ```
+//!
+//! Accepts any Chrome `trace_event` file (object or bare-array form),
+//! not only ones this harness produced; unknown phases are skipped.
+
+use perfport_trace::{export, summary};
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--help" | "-h" => {
+                eprintln!("usage: trace_report <trace.json> [more traces...]");
+                return;
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: trace_report <trace.json> [more traces...]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for path in &paths {
+        if paths.len() > 1 {
+            println!("=== {path} ===");
+        }
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match export::import_chrome(&text) {
+            Ok(events) => print!("{}", summary::render(&events)),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,31 +1,44 @@
 //! Shared harness code for the figure/table regeneration binaries.
 //!
-//! Every binary accepts `--quick` (reduced sweep for smoke testing) and
-//! `--csv` (machine-readable output next to the human-readable table).
+//! Every binary accepts `--quick` (reduced sweep for smoke testing),
+//! `--csv` (machine-readable output next to the human-readable table),
+//! and `--trace <path>` (write a Chrome `trace_event` file capturing
+//! region, kernel-launch, and size-point spans for the run).
 
 use perfport_core::{figure_specs, render_csv, render_figure, FigureSpec, StudyConfig};
+use std::path::PathBuf;
 
 /// Command-line options shared by the regeneration binaries.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HarnessArgs {
     /// Reduced sweep.
     pub quick: bool,
     /// Also print CSV blocks.
     pub csv: bool,
+    /// Write a Chrome trace of the run here.
+    pub trace: Option<PathBuf>,
 }
 
 impl HarnessArgs {
     /// Parses the arguments every binary supports.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut out = HarnessArgs::default();
-        for a in args {
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--csv" => out.csv = true,
-                "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--csv]");
+                "--trace" => match it.next() {
+                    Some(path) => out.trace = Some(PathBuf::from(path)),
+                    None => eprintln!("--trace requires a path argument"),
+                },
+                other => {
+                    if let Some(path) = other.strip_prefix("--trace=") {
+                        out.trace = Some(PathBuf::from(path));
+                    } else if matches!(other, "--help" | "-h") {
+                        eprintln!("usage: [--quick] [--csv] [--trace <path>]");
+                    }
                 }
-                _ => {}
             }
         }
         out
@@ -44,6 +57,41 @@ impl HarnessArgs {
             StudyConfig::default()
         }
     }
+
+    /// Starts a global trace session when `--trace` was given. Call
+    /// [`TraceOutput::finish`] after the run to write the file.
+    pub fn start_trace(&self) -> Option<TraceOutput> {
+        self.trace.as_ref().map(|path| TraceOutput {
+            session: perfport_trace::TraceSession::start(),
+            path: path.clone(),
+        })
+    }
+}
+
+/// A live trace session bound to its output file.
+pub struct TraceOutput {
+    session: perfport_trace::TraceSession,
+    path: PathBuf,
+}
+
+impl TraceOutput {
+    /// Stops recording and writes the Chrome `trace_event` JSON. The
+    /// harness binaries treat a write failure as fatal: a requested
+    /// trace that silently vanishes is worse than an error.
+    pub fn finish(self) {
+        let events = self.session.finish();
+        let chrome = perfport_trace::export::chrome(&events);
+        if let Err(e) = std::fs::write(&self.path, chrome) {
+            eprintln!("failed to write trace to {}: {e}", self.path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote {} trace events to {} (open in chrome://tracing or ui.perfetto.dev,\n  or summarize with: cargo run -p perfport-bench --bin trace_report -- {})",
+            events.len(),
+            self.path.display(),
+            self.path.display()
+        );
+    }
 }
 
 /// Finds a registered figure spec by id.
@@ -60,6 +108,7 @@ pub fn spec(id: &str) -> FigureSpec {
 
 /// Runs the panels and prints them (plus CSV when requested).
 pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
+    let trace = args.start_trace();
     let cfg = args.config();
     for id in ids {
         let spec = spec(id);
@@ -71,6 +120,9 @@ pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
             println!("{}", render_csv(&rows));
         }
     }
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }
 
 #[cfg(test)]
@@ -81,10 +133,32 @@ mod tests {
     fn arg_parsing() {
         let a = HarnessArgs::parse(vec!["--quick".to_string(), "--csv".to_string()]);
         assert!(a.quick && a.csv);
+        assert!(a.trace.is_none());
         let b = HarnessArgs::parse(Vec::<String>::new());
         assert!(!b.quick && !b.csv);
         assert_eq!(b.config().gpu_sizes.len(), 9);
         assert_eq!(a.config().gpu_sizes.len(), 2);
+    }
+
+    #[test]
+    fn trace_flag_takes_a_path() {
+        let a = HarnessArgs::parse(vec!["--trace".to_string(), "/tmp/x.trace".to_string()]);
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/x.trace"))
+        );
+        let b = HarnessArgs::parse(vec![
+            "--trace=/tmp/y.trace".to_string(),
+            "--quick".to_string(),
+        ]);
+        assert_eq!(
+            b.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/y.trace"))
+        );
+        assert!(b.quick);
+        // A dangling --trace is reported, not fatal.
+        let c = HarnessArgs::parse(vec!["--trace".to_string()]);
+        assert!(c.trace.is_none());
     }
 
     #[test]

@@ -94,8 +94,8 @@ mod tests {
         // n=64 equal those at n=128.
         let small = TrafficCoefficients::from_stats(&measure(64));
         let large = TrafficCoefficients::from_stats(&measure(128));
-        let rel = (small.l1_bytes_per_flop - large.l1_bytes_per_flop).abs()
-            / large.l1_bytes_per_flop;
+        let rel =
+            (small.l1_bytes_per_flop - large.l1_bytes_per_flop).abs() / large.l1_bytes_per_flop;
         assert!(rel < 0.02, "coefficients drifted by {rel}");
     }
 
@@ -103,12 +103,7 @@ mod tests {
     fn scaled_l1_bytes_match_direct_simulation() {
         let coeffs = TrafficCoefficients::from_stats(&measure(64));
         let target = measure(160);
-        let predicted = gemm_gpu_profile(
-            &GemmShape::square(160),
-            (32, 32),
-            8,
-            &coeffs,
-        );
+        let predicted = gemm_gpu_profile(&GemmShape::square(160), (32, 32), 8, &coeffs);
         let actual = (target.load_bytes + target.store_bytes) as f64;
         let rel = (predicted.l1_bytes - actual).abs() / actual;
         assert!(rel < 0.02, "l1 scaling off by {rel}");
@@ -140,8 +135,14 @@ mod tests {
 
     #[test]
     fn divergence_zero_for_exact_tiles() {
-        assert_eq!(edge_divergence_rate(&GemmShape::square(1024), (32, 32)), 0.0);
-        assert_eq!(edge_divergence_rate(&GemmShape::square(20480), (32, 32)), 0.0);
+        assert_eq!(
+            edge_divergence_rate(&GemmShape::square(1024), (32, 32)),
+            0.0
+        );
+        assert_eq!(
+            edge_divergence_rate(&GemmShape::square(20480), (32, 32)),
+            0.0
+        );
     }
 
     #[test]

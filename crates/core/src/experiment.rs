@@ -133,7 +133,11 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Unsupported { model, arch, reason } => {
+            RunError::Unsupported {
+                model,
+                arch,
+                reason,
+            } => {
                 write!(f, "{model} is unsupported on {arch}: {reason}")
             }
             RunError::VerificationFailed(msg) => write!(f, "verification failed: {msg}"),

@@ -91,7 +91,13 @@ pub fn phi_anchors() -> Vec<(ModelFamily, Precision, f64)> {
 pub fn reproduction_report(cfg: &StudyConfig) -> Vec<Anchor> {
     let double = efficiency_table(Precision::Double, cfg);
     let single = efficiency_table(Precision::Single, cfg);
-    let pick = |p: Precision| if p == Precision::Double { &double } else { &single };
+    let pick = |p: Precision| {
+        if p == Precision::Double {
+            &double
+        } else {
+            &single
+        }
+    };
 
     let mut anchors = Vec::new();
     for (arch, family, precision, paper) in table_iii_anchors() {
@@ -100,7 +106,12 @@ pub fn reproduction_report(cfg: &StudyConfig) -> Vec<Anchor> {
             .get(arch.table_label(), family.label());
         anchors.push(Anchor {
             source: "Table III",
-            quantity: format!("e_{{{}}} {} {}", arch.table_label(), family.label(), precision),
+            quantity: format!(
+                "e_{{{}}} {} {}",
+                arch.table_label(),
+                family.label(),
+                precision
+            ),
             paper,
             reproduced,
             tolerance: 0.08,
@@ -167,10 +178,7 @@ mod tests {
             ..a.clone()
         };
         assert!(both_missing.matches());
-        let half_missing = Anchor {
-            paper: None,
-            ..a
-        };
+        let half_missing = Anchor { paper: None, ..a };
         assert!(!half_missing.matches());
     }
 
@@ -187,7 +195,11 @@ mod tests {
                 )
             })
             .collect();
-        assert!(failures.is_empty(), "anchors failed:\n{}", failures.join("\n"));
+        assert!(
+            failures.is_empty(),
+            "anchors failed:\n{}",
+            failures.join("\n")
+        );
         assert_eq!(anchors.len(), 30);
     }
 

@@ -44,6 +44,14 @@ const GPU_BLOCK: (u32, u32) = (32, 32);
 /// combination out; [`RunError::VerificationFailed`] if the functional
 /// kernel does not match the `f64` reference.
 pub fn run_experiment(exp: &Experiment) -> Result<ExperimentResult, RunError> {
+    let mut sp = perfport_trace::span("runner", "experiment");
+    if sp.is_recording() {
+        sp.arg("arch", format!("{:?}", exp.arch));
+        sp.arg("model", format!("{:?}", exp.model));
+        sp.arg("precision", format!("{:?}", exp.precision));
+        sp.arg("sizes", exp.sizes.len());
+        sp.arg("reps", exp.reps);
+    }
     let sup = support(exp.model, exp.arch, exp.precision);
     let note = match sup {
         Support::Unsupported(reason) => {
@@ -130,16 +138,23 @@ fn run_cpu(exp: &Experiment, note: Option<String>) -> Result<ExperimentResult, R
         let exec = CpuExecution {
             threads,
             pinned,
-            codegen_efficiency: cal.value
-                * size_penalty(exp.model, exp.arch, exp.precision, n),
+            codegen_efficiency: cal.value * size_penalty(exp.model, exp.arch, exp.precision, n),
             region_overhead_us: machine.fork_join_us * profile.region_overhead_multiplier,
             imbalance: imbalance.max(1.0),
         };
         let est = estimate_cpu_gemm(&machine, exp.precision, &shape, &exec);
-        points.push(timed_point(n, shape.flops(), est.seconds, est.bound, exp.reps, &mut noise));
+        points.push(size_point_traced(
+            n,
+            shape.flops(),
+            est.seconds,
+            est.bound,
+            exp.reps,
+            &mut noise,
+        ));
     }
 
     let warmup = profile.jit_warmup_s + points.first().map_or(0.0, |p| p.seconds);
+    record_warmup(warmup, profile.jit_warmup_s);
     Ok(ExperimentResult {
         experiment: exp.clone(),
         points,
@@ -151,13 +166,18 @@ fn run_cpu(exp: &Experiment, note: Option<String>) -> Result<ExperimentResult, R
 
 fn verify_cpu<T: Scalar>(variant: CpuVariant, exp: &Experiment) -> Result<f64, RunError> {
     let n = CPU_VERIFY_N;
+    let mut sp = perfport_trace::span("runner", "verify");
+    sp.arg("n", n);
+    sp.arg("variant", format!("{variant:?}"));
     let layout = variant.layout();
     let (a, b) = verification_inputs::<T>(exp, n, layout);
     let mut c = Matrix::<T>::zeros(n, n, layout);
     let host = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
     let pool = ThreadPool::new(host);
     par_gemm(&pool, variant, &a, &b, &mut c, Schedule::StaticBlock);
-    verify_gemm(&a, &b, &c).map_err(RunError::VerificationFailed)
+    let rel_err = verify_gemm(&a, &b, &c).map_err(RunError::VerificationFailed)?;
+    sp.arg("rel_err", rel_err);
+    Ok(rel_err)
 }
 
 fn verification_inputs<T: Scalar>(
@@ -209,8 +229,7 @@ fn run_gpu(exp: &Experiment, note: Option<String>) -> Result<ExperimentResult, R
         let grid_blocks = (shape.n.div_ceil(GPU_BLOCK.0 as usize)
             * shape.m.div_ceil(GPU_BLOCK.1 as usize)) as u64;
         let exec = GpuExecution {
-            codegen_efficiency: cal.value
-                * size_penalty(exp.model, exp.arch, exp.precision, n),
+            codegen_efficiency: cal.value * size_penalty(exp.model, exp.arch, exp.precision, n),
             occupancy: occ.fraction,
             divergence_rate: edge_divergence_rate(&shape, GPU_BLOCK),
             launch_overhead_us: machine.launch_latency_us * profile.launch_overhead_multiplier,
@@ -218,10 +237,18 @@ fn run_gpu(exp: &Experiment, note: Option<String>) -> Result<ExperimentResult, R
             blocks_per_sm: occ.blocks_per_sm,
         };
         let est = estimate_gpu_kernel(&machine, ceiling_precision, &prof, &exec);
-        points.push(timed_point(n, shape.flops(), est.seconds, est.bound, exp.reps, &mut noise));
+        points.push(size_point_traced(
+            n,
+            shape.flops(),
+            est.seconds,
+            est.bound,
+            exp.reps,
+            &mut noise,
+        ));
     }
 
     let warmup = profile.jit_warmup_s + points.first().map_or(0.0, |p| p.seconds);
+    record_warmup(warmup, profile.jit_warmup_s);
     Ok(ExperimentResult {
         experiment: exp.clone(),
         points,
@@ -236,16 +263,14 @@ fn verify_gpu<I: Scalar, O: Scalar>(
     exp: &Experiment,
 ) -> Result<(f64, LaunchStats), RunError> {
     let n = GPU_VERIFY_N;
+    let mut sp = perfport_trace::span("runner", "verify");
+    sp.arg("n", n);
+    sp.arg("variant", format!("{variant:?}"));
     let (a, b) = verification_inputs::<I>(exp, n, Layout::RowMajor);
     let gpu = Gpu::new(variant.device_class());
-    let (c, stats) = gpu_gemm_mixed::<I, O>(
-        &gpu,
-        variant,
-        &a,
-        &b,
-        Dim3::d2(GPU_BLOCK.0, GPU_BLOCK.1),
-    )
-    .map_err(|e| RunError::VerificationFailed(e.to_string()))?;
+    let (c, stats) =
+        gpu_gemm_mixed::<I, O>(&gpu, variant, &a, &b, Dim3::d2(GPU_BLOCK.0, GPU_BLOCK.1))
+            .map_err(|e| RunError::VerificationFailed(e.to_string()))?;
 
     // Verify against the f64 reference at the *output* precision's
     // tolerance.
@@ -270,10 +295,54 @@ fn verify_gpu<I: Scalar, O: Scalar>(
             worst = worst.max(rel);
         }
     }
+    sp.arg("rel_err", worst);
     Ok((worst, stats))
 }
 
 // ------------------------------------------------------------- shared --
+
+/// Runs [`timed_point`] inside a `runner:size_point` span carrying the
+/// point's modelled outcome. The noise source is drawn from identically
+/// whether tracing is on or off, so results stay bit-identical.
+fn size_point_traced(
+    n: usize,
+    flops: f64,
+    modelled_seconds: f64,
+    bound: perfport_machines::Bound,
+    reps: usize,
+    noise: &mut NoiseSource,
+) -> SizePoint {
+    let mut sp = perfport_trace::span("runner", "size_point");
+    let point = timed_point(n, flops, modelled_seconds, bound, reps, noise);
+    if sp.is_recording() {
+        sp.arg("n", n);
+        sp.arg("reps", reps.max(1));
+        sp.arg("gflops", point.gflops);
+        sp.arg("modelled_seconds", modelled_seconds);
+        sp.arg("bound", format!("{:?}", bound));
+        perfport_trace::counter("runner", "gflops", point.gflops);
+        for s in &point.samples {
+            perfport_trace::counter("runner", "rep_gflops", *s);
+        }
+    }
+    point
+}
+
+/// Marks the warm-up time the measurement protocol excludes (first
+/// iteration + JIT where applicable) — the evidence behind the paper's
+/// "first-run excluded" methodology.
+fn record_warmup(total_s: f64, jit_s: f64) {
+    if perfport_trace::enabled() {
+        perfport_trace::instant(
+            "runner",
+            "warmup_excluded",
+            vec![
+                ("seconds".to_string(), total_s.into()),
+                ("jit_seconds".to_string(), jit_s.into()),
+            ],
+        );
+    }
+}
 
 fn timed_point(
     n: usize,
@@ -298,7 +367,11 @@ fn timed_point(
     let seconds = total / reps as f64;
     SizePoint {
         n,
-        gflops: if seconds > 0.0 { flops / seconds / 1e9 } else { 0.0 },
+        gflops: if seconds > 0.0 {
+            flops / seconds / 1e9
+        } else {
+            0.0
+        },
         seconds,
         bound,
         samples,
@@ -437,14 +510,9 @@ mod tests {
             ))
             .unwrap()
             .mean_gflops();
-            let single = run_experiment(&Experiment::new(
-                arch,
-                model,
-                Precision::Single,
-                sizes,
-            ))
-            .unwrap()
-            .mean_gflops();
+            let single = run_experiment(&Experiment::new(arch, model, Precision::Single, sizes))
+                .unwrap()
+                .mean_gflops();
             let ratio = half / single;
             assert!(
                 (0.85..1.15).contains(&ratio),
@@ -485,8 +553,12 @@ mod tests {
             Precision::Double,
         ))
         .unwrap();
-        let c = run_experiment(&quick(Arch::Epyc7A53, ProgModel::COpenMp, Precision::Double))
-            .unwrap();
+        let c = run_experiment(&quick(
+            Arch::Epyc7A53,
+            ProgModel::COpenMp,
+            Precision::Double,
+        ))
+        .unwrap();
         assert!(julia.warmup_excluded_s > c.warmup_excluded_s + 1.0);
     }
 

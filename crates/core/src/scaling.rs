@@ -30,10 +30,7 @@ pub struct ScalingStudy {
 impl ScalingStudy {
     /// Power-of-two team sizes up to the machine's core count.
     pub fn pow2(arch: Arch, model: ProgModel, precision: Precision, n: usize) -> Self {
-        let cores = arch
-            .cpu_machine()
-            .map(|m| m.total_cores())
-            .unwrap_or(64);
+        let cores = arch.cpu_machine().map(|m| m.total_cores()).unwrap_or(64);
         let mut thread_counts = Vec::new();
         let mut t = 1;
         while t < cores {
@@ -97,11 +94,14 @@ pub fn run_scaling(study: &ScalingStudy) -> Result<ScalingResult, RunError> {
             reason: reason.to_string(),
         });
     }
-    let machine = study.arch.cpu_machine().ok_or_else(|| RunError::Unsupported {
-        model: study.model,
-        arch: study.arch,
-        reason: "thread scaling is a CPU study".to_string(),
-    })?;
+    let machine = study
+        .arch
+        .cpu_machine()
+        .ok_or_else(|| RunError::Unsupported {
+            model: study.model,
+            arch: study.arch,
+            reason: "thread scaling is a CPU study".to_string(),
+        })?;
     let profile = cpu_profile(study.model);
     let cal = codegen_efficiency(study.model, study.arch, study.precision);
     let shape = GemmShape::square(study.n);

@@ -14,8 +14,9 @@
 
 use crate::experiment::RunError;
 use perfport_machines::numa_locality;
-use perfport_models::{codegen_efficiency, cpu_profile, gpu_profile, support, Arch, ProgModel,
-    Support};
+use perfport_models::{
+    codegen_efficiency, cpu_profile, gpu_profile, support, Arch, ProgModel, Support,
+};
 use perfport_pool::{PinPolicy, Schedule, ThreadPool};
 use std::fmt;
 
@@ -132,7 +133,10 @@ pub fn run_stream_kernel(pool: &ThreadPool, kernel: StreamKernel, n: usize) -> f
         StreamKernel::Dot => {
             let (dot, _) = pool.parallel_sum(n, Schedule::StaticBlock, |i| a0[i] * b0[i]);
             let expect: f64 = (0..n).map(|i| a0[i] * b0[i]).sum();
-            assert!((dot - expect).abs() < expect.abs() * 1e-12, "dot verification");
+            assert!(
+                (dot - expect).abs() < expect.abs() * 1e-12,
+                "dot verification"
+            );
             dot
         }
     }
@@ -151,8 +155,7 @@ pub fn estimate_stream_bandwidth(
     model: ProgModel,
     kernel: StreamKernel,
 ) -> Result<f64, RunError> {
-    if let Support::Unsupported(reason) =
-        support(model, arch, perfport_machines::Precision::Double)
+    if let Support::Unsupported(reason) = support(model, arch, perfport_machines::Precision::Double)
     {
         return Err(RunError::Unsupported {
             model,
@@ -234,18 +237,13 @@ mod tests {
 
     #[test]
     fn unsupported_combinations_error() {
-        assert!(estimate_stream_bandwidth(
-            Arch::Mi250x,
-            ProgModel::NumbaCuda,
-            StreamKernel::Copy
-        )
-        .is_err());
-        assert!(estimate_stream_bandwidth(
-            Arch::A100,
-            ProgModel::COpenMp,
-            StreamKernel::Copy
-        )
-        .is_err());
+        assert!(
+            estimate_stream_bandwidth(Arch::Mi250x, ProgModel::NumbaCuda, StreamKernel::Copy)
+                .is_err()
+        );
+        assert!(
+            estimate_stream_bandwidth(Arch::A100, ProgModel::COpenMp, StreamKernel::Copy).is_err()
+        );
     }
 
     #[test]

@@ -88,6 +88,13 @@ impl FigureSpec {
     /// Runs every curve, keeping unsupported models as errors (rendered
     /// as gaps, exactly as the paper omits them).
     pub fn run(&self, cfg: &StudyConfig) -> Vec<(ProgModel, Result<ExperimentResult, RunError>)> {
+        let mut sp = perfport_trace::span("study", "figure");
+        if sp.is_recording() {
+            sp.arg("id", self.id);
+            sp.arg("arch", format!("{:?}", self.arch));
+            sp.arg("precision", format!("{:?}", self.precision));
+            sp.arg("curves", self.models.len());
+        }
         self.experiments(cfg)
             .iter()
             .map(|e| (e.model, run_experiment(e)))
@@ -107,10 +114,30 @@ pub fn figure_specs() -> Vec<FigureSpec> {
         models: vec![COpenMp, KokkosOpenMp, JuliaThreads, NumbaParallel],
     };
     vec![
-        cpu("fig4a", "Crusher CPU GEMM, FP64, 64 threads / 4 NUMA", Arch::Epyc7A53, Double),
-        cpu("fig4b", "Crusher CPU GEMM, FP32, 64 threads / 4 NUMA", Arch::Epyc7A53, Single),
-        cpu("fig5a", "Wombat CPU GEMM, FP64, 80 threads", Arch::AmpereAltra, Double),
-        cpu("fig5b", "Wombat CPU GEMM, FP32, 80 threads", Arch::AmpereAltra, Single),
+        cpu(
+            "fig4a",
+            "Crusher CPU GEMM, FP64, 64 threads / 4 NUMA",
+            Arch::Epyc7A53,
+            Double,
+        ),
+        cpu(
+            "fig4b",
+            "Crusher CPU GEMM, FP32, 64 threads / 4 NUMA",
+            Arch::Epyc7A53,
+            Single,
+        ),
+        cpu(
+            "fig5a",
+            "Wombat CPU GEMM, FP64, 80 threads",
+            Arch::AmpereAltra,
+            Double,
+        ),
+        cpu(
+            "fig5b",
+            "Wombat CPU GEMM, FP32, 80 threads",
+            Arch::AmpereAltra,
+            Single,
+        ),
         FigureSpec {
             id: "fig5c",
             title: "Wombat CPU GEMM, Julia FP16",
@@ -172,8 +199,10 @@ mod tests {
         let specs = figure_specs();
         assert_eq!(specs.len(), 11);
         let ids: Vec<_> = specs.iter().map(|s| s.id).collect();
-        for id in ["fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c",
-                   "fig7a", "fig7b", "fig7c"] {
+        for id in [
+            "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7a",
+            "fig7b", "fig7c",
+        ] {
             assert!(ids.contains(&id), "{id} missing");
         }
     }

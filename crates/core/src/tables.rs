@@ -85,9 +85,7 @@ pub fn render_csv(rows: &[(ProgModel, Result<ExperimentResult, RunError>)]) -> S
 /// precision panel, plus the Pennycook PP extension column block.
 pub fn render_table3(reports: &[EfficiencyReport]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Table III: Performance efficiency of Kokkos, Julia, and Python/Numba\n",
-    );
+    out.push_str("Table III: Performance efficiency of Kokkos, Julia, and Python/Numba\n");
     for report in reports {
         out.push_str(&format!("\n  {} precision\n", report.precision));
         out.push_str(&format!("  {:<16}", "Architecture"));
@@ -128,7 +126,10 @@ mod tests {
     #[test]
     fn figure_rendering_contains_all_models_and_sizes() {
         let cfg = StudyConfig::quick();
-        let spec = figure_specs().into_iter().find(|s| s.id == "fig7a").unwrap();
+        let spec = figure_specs()
+            .into_iter()
+            .find(|s| s.id == "fig7a")
+            .unwrap();
         let rows = spec.run(&cfg);
         let text = render_figure(spec.title, &rows);
         assert!(text.contains("CUDA"));
@@ -158,7 +159,10 @@ mod tests {
     #[test]
     fn csv_shape() {
         let cfg = StudyConfig::quick();
-        let spec = figure_specs().into_iter().find(|s| s.id == "fig6a").unwrap();
+        let spec = figure_specs()
+            .into_iter()
+            .find(|s| s.id == "fig6a")
+            .unwrap();
         let rows = spec.run(&cfg);
         let csv = render_csv(&rows);
         let lines: Vec<&str> = csv.trim().lines().collect();

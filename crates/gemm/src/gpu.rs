@@ -201,8 +201,7 @@ mod tests {
         let a16: Matrix<F16> = a32.cast();
         let b16: Matrix<F16> = b32.cast();
         let ref16 = gemm_reference_f64(&a16, &b16);
-        let (c16, _) =
-            gpu_gemm(&gpu, GpuVariant::JuliaCudaJl, &a16, &b16, BLOCK).unwrap();
+        let (c16, _) = gpu_gemm(&gpu, GpuVariant::JuliaCudaJl, &a16, &b16, BLOCK).unwrap();
         let cast: Matrix<f64> = c16.to_layout(Layout::RowMajor).cast();
         assert!(cast.max_abs_diff(&ref16) < 0.2);
     }

@@ -73,7 +73,12 @@ impl<T: Scalar> Matrix<T> {
     }
 
     /// Builds a matrix from `f(i, j)`.
-    pub fn from_fn(rows: usize, cols: usize, layout: Layout, f: impl Fn(usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        layout: Layout,
+        f: impl Fn(usize, usize) -> T,
+    ) -> Self {
         let mut m = Matrix::zeros(rows, cols, layout);
         for i in 0..rows {
             for j in 0..cols {
@@ -190,7 +195,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &self.data[self.layout.index(self.rows, self.cols, i, j)]
     }
 }
@@ -198,7 +206,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        assert!(i < self.rows && j < self.cols, "index ({i}, {j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i}, {j}) out of bounds"
+        );
         &mut self.data[self.layout.index(self.rows, self.cols, i, j)]
     }
 }

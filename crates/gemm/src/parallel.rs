@@ -175,7 +175,14 @@ mod tests {
         let a = Matrix::<f64>::from_fn(1, 1, Layout::RowMajor, |_, _| 3.0);
         let b = Matrix::<f64>::from_fn(1, 1, Layout::RowMajor, |_, _| 4.0);
         let mut c = Matrix::<f64>::zeros(1, 1, Layout::RowMajor);
-        par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c, Schedule::StaticBlock);
+        par_gemm(
+            &pool,
+            CpuVariant::OpenMpC,
+            &a,
+            &b,
+            &mut c,
+            Schedule::StaticBlock,
+        );
         assert_eq!(c[(0, 0)], 12.0);
     }
 }

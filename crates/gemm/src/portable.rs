@@ -140,7 +140,10 @@ pub fn portable_gemm<T: Scalar>(
     match backend {
         Backend::Cpu(pool) => {
             let mut c = Matrix::<T>::zeros(m, n, Layout::RowMajor);
-            let mem = HostAccess { a: &a_row, b: &b_row };
+            let mem = HostAccess {
+                a: &a_row,
+                b: &b_row,
+            };
             let stats = {
                 let ds = DisjointSlice::new(c.as_mut_slice());
                 pool.parallel_for(m, Schedule::StaticBlock, |_ctx, chunk| {
@@ -210,9 +213,11 @@ mod tests {
         let (a, b) = inputs(23, 17, 29);
         for class in [DeviceClass::NvidiaLike, DeviceClass::AmdLike] {
             let gpu = Gpu::new(class);
-            let (c, stats) =
-                portable_gemm(Backend::Gpu(&gpu, Dim3::d2(8, 8)), &a, &b).unwrap();
-            assert!(c.max_abs_diff(&gemm_reference_f64(&a, &b)) < 1e-12, "{class}");
+            let (c, stats) = portable_gemm(Backend::Gpu(&gpu, Dim3::d2(8, 8)), &a, &b).unwrap();
+            assert!(
+                c.max_abs_diff(&gemm_reference_f64(&a, &b)) < 1e-12,
+                "{class}"
+            );
             assert_eq!(stats.items() % 64, 0, "whole blocks launched");
         }
     }

@@ -155,7 +155,12 @@ mod tests {
         assert_eq!(T::zero() + T::one(), T::one());
         assert_eq!(T::one() * T::one(), T::one());
         assert_eq!(T::from_f64(2.0).to_f64(), 2.0);
-        assert_eq!(T::from_f64(2.0).mul_add(T::from_f64(3.0), T::one()).to_f64(), 7.0);
+        assert_eq!(
+            T::from_f64(2.0)
+                .mul_add(T::from_f64(3.0), T::one())
+                .to_f64(),
+            7.0
+        );
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let x = T::sample_uniform(&mut rng).to_f64();
@@ -182,7 +187,7 @@ mod tests {
         exercise::<F16>();
         assert_eq!(F16::NAME, "FP16");
         assert_eq!(F16::BYTES, 2);
-        assert!(F16::SUPPORTS_RANDOM_FILL);
+        const { assert!(F16::SUPPORTS_RANDOM_FILL) };
     }
 
     #[test]

@@ -239,9 +239,8 @@ mod tests {
     #[test]
     fn f16_gemm_small_exact() {
         // With small integer values everything is exact even in half.
-        let a = Matrix::<F16>::from_fn(3, 3, Layout::RowMajor, |i, j| {
-            F16::from_f64((i + j) as f64)
-        });
+        let a =
+            Matrix::<F16>::from_fn(3, 3, Layout::RowMajor, |i, j| F16::from_f64((i + j) as f64));
         let b = Matrix::<F16>::from_fn(3, 3, Layout::RowMajor, |i, j| {
             F16::from_f64((i * 3 + j) as f64 % 4.0)
         });

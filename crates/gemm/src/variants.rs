@@ -170,7 +170,16 @@ impl CpuVariant {
         let shape = (c.rows(), c.cols());
         let extent = self.parallel_extent(shape.0, shape.1);
         let ds = DisjointSlice::new(c.as_mut_slice());
-        self.run_chunk(a, b, &ds, shape, Chunk { start: 0, end: extent });
+        self.run_chunk(
+            a,
+            b,
+            &ds,
+            shape,
+            Chunk {
+                start: 0,
+                end: extent,
+            },
+        );
     }
 
     /// The paper's source snippet for this model (Fig. 2), used by the
@@ -312,7 +321,16 @@ mod tests {
                 let extent = v.parallel_extent(m, n);
                 let mid = extent / 2;
                 v.run_chunk(&a, &b, &ds, (m, n), Chunk { start: 0, end: mid });
-                v.run_chunk(&a, &b, &ds, (m, n), Chunk { start: mid, end: extent });
+                v.run_chunk(
+                    &a,
+                    &b,
+                    &ds,
+                    (m, n),
+                    Chunk {
+                        start: mid,
+                        end: extent,
+                    },
+                );
             }
             assert_eq!(c_serial.max_abs_diff(&c_chunked), 0.0, "{v}");
         }

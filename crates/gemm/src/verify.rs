@@ -75,11 +75,7 @@ pub fn max_rel_error<T: Scalar>(c: &Matrix<T>, reference: &Matrix<f64>) -> f64 {
 ///
 /// Returns a description of the first offending element when the check
 /// fails.
-pub fn verify_gemm<T: Scalar>(
-    a: &Matrix<T>,
-    b: &Matrix<T>,
-    c: &Matrix<T>,
-) -> Result<f64, String> {
+pub fn verify_gemm<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, c: &Matrix<T>) -> Result<f64, String> {
     let reference = gemm_reference_f64(a, b);
     let tol = Tolerance::for_gemm::<T>(a.cols());
     for i in 0..c.rows() {
@@ -124,7 +120,10 @@ mod tests {
 
     #[test]
     fn accepts_respects_both_bounds() {
-        let t = Tolerance { abs: 0.1, rel: 0.01 };
+        let t = Tolerance {
+            abs: 0.1,
+            rel: 0.01,
+        };
         assert!(t.accepts(1.0, 1.05)); // within abs
         assert!(t.accepts(100.4, 100.0)); // within rel
         assert!(!t.accepts(100.0, 102.0)); // outside both

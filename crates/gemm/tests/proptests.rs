@@ -3,8 +3,8 @@
 //! variant.
 
 use perfport_gemm::{
-    gemm_reference_f64, matrix::Layout, par_gemm, serial::gemm_loop_order,
-    serial::LoopOrder, CpuVariant, Matrix,
+    gemm_reference_f64, matrix::Layout, par_gemm, serial::gemm_loop_order, serial::LoopOrder,
+    CpuVariant, Matrix,
 };
 use perfport_pool::{Schedule, ThreadPool};
 use proptest::prelude::*;

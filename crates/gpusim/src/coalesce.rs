@@ -87,13 +87,14 @@ pub fn analyze_warp(lanes: &[Vec<Access>], line_bytes: u64) -> WarpSummary {
         }
         // If both kinds appeared at this ordinal the lanes took different
         // paths.
-        let kinds: (bool, bool) = lanes.iter().fold((false, false), |acc, lane| {
-            match lane.get(ordinal) {
-                Some(a) if a.store => (acc.0, true),
-                Some(_) => (true, acc.1),
-                None => acc,
-            }
-        });
+        let kinds: (bool, bool) =
+            lanes
+                .iter()
+                .fold((false, false), |acc, lane| match lane.get(ordinal) {
+                    Some(a) if a.store => (acc.0, true),
+                    Some(_) => (true, acc.1),
+                    None => acc,
+                });
         if kinds.0 && kinds.1 {
             summary.divergent = true;
         }
@@ -224,7 +225,12 @@ mod tests {
     #[test]
     fn accesses_straddling_lines_split() {
         // Two lanes in different lines, two in the same line.
-        let lanes = vec![vec![load(0)], vec![load(4)], vec![load(128)], vec![load(132)]];
+        let lanes = vec![
+            vec![load(0)],
+            vec![load(4)],
+            vec![load(128)],
+            vec![load(132)],
+        ];
         let s = analyze_warp(&lanes, 128);
         assert_eq!(s.load_transactions, 2);
     }

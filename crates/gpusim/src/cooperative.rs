@@ -327,7 +327,11 @@ mod tests {
             match phase {
                 0 => {
                     let i = ctx.global_x();
-                    let v = if i < self.n { self.input.read(ctx, i) } else { 0.0 };
+                    let v = if i < self.n {
+                        self.input.read(ctx, i)
+                    } else {
+                        0.0
+                    };
                     shared.write(tid, v);
                     true
                 }
@@ -426,7 +430,10 @@ mod tests {
         let err = gpu
             .launch_cooperative(cfg, LaunchOptions::default(), 0, 0.0f32, &Diverge)
             .unwrap_err();
-        assert!(matches!(err, LaunchError::BarrierDivergence { phase: 0, .. }));
+        assert!(matches!(
+            err,
+            LaunchError::BarrierDivergence { phase: 0, .. }
+        ));
     }
 
     #[test]

@@ -121,7 +121,12 @@ mod tests {
         let all: Vec<Dim3> = ext.iter().collect();
         assert_eq!(
             all,
-            vec![Dim3::at2(0, 0), Dim3::at2(1, 0), Dim3::at2(0, 1), Dim3::at2(1, 1)]
+            vec![
+                Dim3::at2(0, 0),
+                Dim3::at2(1, 0),
+                Dim3::at2(0, 1),
+                Dim3::at2(1, 1)
+            ]
         );
     }
 
@@ -130,7 +135,10 @@ mod tests {
         let grid = Dim3::cover(Dim3::d2(100, 65), Dim3::d2(32, 32));
         assert_eq!(grid, Dim3::d2(4, 3));
         // Exact fit does not over-allocate.
-        assert_eq!(Dim3::cover(Dim3::d2(64, 64), Dim3::d2(32, 32)), Dim3::d2(2, 2));
+        assert_eq!(
+            Dim3::cover(Dim3::d2(64, 64), Dim3::d2(32, 32)),
+            Dim3::d2(2, 2)
+        );
     }
 
     #[test]

@@ -64,8 +64,7 @@ impl LaunchConfig {
 }
 
 /// Knobs for one launch.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LaunchOptions {
     /// Host threads used to simulate blocks in parallel; `0` = one per
     /// available core.
@@ -76,7 +75,6 @@ pub struct LaunchOptions {
     /// --tool racecheck`).
     pub detect_races: bool,
 }
-
 
 /// Launch failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,6 +214,7 @@ impl Gpu {
         F: Fn(&ThreadCtx) + Sync,
     {
         cfg.validate(self.class)?;
+        let mut sp = perfport_trace::span("gpu", "launch");
         let start = Instant::now();
         let class = self.class;
         let warp = class.warp_size() as u64;
@@ -278,9 +277,11 @@ impl Gpu {
                                     class, cfg.grid, cfg.block, block_idx, thread_idx,
                                 );
                                 let global_id = ctx.global_linear();
-                                if let Err(payload) = std::panic::catch_unwind(
-                                    std::panic::AssertUnwindSafe(|| kernel(&ctx)),
-                                ) {
+                                if let Err(payload) =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        kernel(&ctx)
+                                    }))
+                                {
                                     let mut slot = fault.lock();
                                     if slot.is_none() {
                                         *slot = Some(payload);
@@ -315,6 +316,27 @@ impl Gpu {
 
         let mut stats = totals.into_inner();
         stats.sim_time = start.elapsed();
+        if sp.is_recording() {
+            let occ = crate::occupancy::occupancy(class, threads_per_block as u32, 0);
+            sp.arg("class", format!("{class:?}"));
+            sp.arg("grid", cfg.grid.to_string());
+            sp.arg("block", cfg.block.to_string());
+            sp.arg("host_threads", host_threads);
+            sp.arg("blocks", stats.blocks);
+            sp.arg("threads", stats.threads);
+            sp.arg("flops", stats.flops);
+            sp.arg("load_transactions", stats.load_transactions);
+            sp.arg("store_transactions", stats.store_transactions);
+            sp.arg("divergent_warps", stats.divergent_warps);
+            sp.arg("occupancy", occ.fraction);
+            sp.arg("occupancy_limiter", format!("{:?}", occ.limiter));
+            perfport_trace::counter(
+                "gpu",
+                "coalescing_efficiency",
+                stats.coalescing_efficiency(),
+            );
+            perfport_trace::counter("gpu", "occupancy", occ.fraction);
+        }
         Ok(stats)
     }
 }

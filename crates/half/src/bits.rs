@@ -248,8 +248,21 @@ mod tests {
         // For a sample of f32 values, verify that the chosen f16 is at least
         // as close as both neighbouring candidates (correct rounding).
         let samples = [
-            0.1f32, 0.2, 0.3, 1.0 / 3.0, 2.0 / 3.0, 0.7, 3.14159, 2.71828,
-            123.456, 1000.001, 0.00012345, 6e-5, 3e-5, 1e-6, 60000.0,
+            0.1f32,
+            0.2,
+            0.3,
+            1.0 / 3.0,
+            2.0 / 3.0,
+            0.7,
+            std::f32::consts::PI,
+            std::f32::consts::E,
+            123.456,
+            1000.001,
+            0.00012345,
+            6e-5,
+            3e-5,
+            1e-6,
+            60000.0,
         ];
         for &s in &samples {
             for &x in &[s, -s] {

@@ -98,7 +98,9 @@ mod tests {
         let g = GpuMachine::a100();
         assert_eq!(g.class, DeviceClass::NvidiaLike);
         assert_eq!(g.sms, 108);
-        assert!((g.peak_gflops(Precision::Single) / g.peak_gflops(Precision::Double) - 2.0).abs() < 0.1);
+        assert!(
+            (g.peak_gflops(Precision::Single) / g.peak_gflops(Precision::Double) - 2.0).abs() < 0.1
+        );
     }
 
     #[test]

@@ -257,12 +257,8 @@ mod tests {
         let mut prev = 0.0;
         for n in [512u64, 1024, 2048, 4096, 8192] {
             let exec = GpuExecution::vendor_baseline(&m, grid_blocks(n), 2);
-            let e = estimate_gpu_kernel(
-                &m,
-                Precision::Double,
-                &naive_profile(n as f64, 8.0),
-                &exec,
-            );
+            let e =
+                estimate_gpu_kernel(&m, Precision::Double, &naive_profile(n as f64, 8.0), &exec);
             assert!(e.gflops >= prev * 0.98, "n={n}: {} < {prev}", e.gflops);
             prev = e.gflops;
         }

@@ -57,7 +57,11 @@ impl Estimate {
         }
         Estimate {
             seconds,
-            gflops: if seconds > 0.0 { flops / seconds / 1e9 } else { f64::INFINITY },
+            gflops: if seconds > 0.0 {
+                flops / seconds / 1e9
+            } else {
+                f64::INFINITY
+            },
             bound,
         }
     }

@@ -4,10 +4,7 @@ use perfport_metrics::{marowka_phi, pennycook_pp, EfficiencyMatrix};
 use proptest::prelude::*;
 
 fn effs() -> impl Strategy<Value = Vec<Option<f64>>> {
-    proptest::collection::vec(
-        proptest::option::weighted(0.8, 0.01f64..1.5),
-        1..8,
-    )
+    proptest::collection::vec(proptest::option::weighted(0.8, 0.01f64..1.5), 1..8)
 }
 
 proptest! {

@@ -90,9 +90,10 @@ pub fn codegen_efficiency(model: ProgModel, arch: Arch, precision: Precision) ->
             "Table III / Fig. 4a: Julia threads close to vendor OpenMP on Zen 3",
         ),
         (JuliaThreads, Arch::Epyc7A53, Single) => c(0.976, "Table III / Fig. 4b"),
-        (JuliaThreads, Arch::AmpereAltra, Double) => {
-            c(0.907, "Table III / Fig. 5a: almost on par with ArmClang OpenMP")
-        }
+        (JuliaThreads, Arch::AmpereAltra, Double) => c(
+            0.907,
+            "Table III / Fig. 5a: almost on par with ArmClang OpenMP",
+        ),
         (JuliaThreads, Arch::AmpereAltra, Single) => c(0.900, "Table III / Fig. 5b"),
         (JuliaThreads, _, Half) => c(
             0.90,
@@ -239,15 +240,30 @@ mod tests {
     #[test]
     fn kokkos_hip_large_size_dip() {
         assert_eq!(
-            size_penalty(ProgModel::KokkosHip, Arch::Mi250x, Precision::Double, 20_480),
+            size_penalty(
+                ProgModel::KokkosHip,
+                Arch::Mi250x,
+                Precision::Double,
+                20_480
+            ),
             0.72
         );
         assert_eq!(
-            size_penalty(ProgModel::KokkosHip, Arch::Mi250x, Precision::Double, 16_384),
+            size_penalty(
+                ProgModel::KokkosHip,
+                Arch::Mi250x,
+                Precision::Double,
+                16_384
+            ),
             1.0
         );
         assert_eq!(
-            size_penalty(ProgModel::KokkosHip, Arch::Mi250x, Precision::Single, 20_480),
+            size_penalty(
+                ProgModel::KokkosHip,
+                Arch::Mi250x,
+                Precision::Single,
+                20_480
+            ),
             1.0
         );
         assert_eq!(

@@ -109,8 +109,15 @@ mod tests {
 
     #[test]
     fn only_numba_cannot_pin() {
-        assert_eq!(cpu_profile(ProgModel::NumbaParallel).pin_policy, PinPolicy::Unpinned);
-        for m in [ProgModel::COpenMp, ProgModel::KokkosOpenMp, ProgModel::JuliaThreads] {
+        assert_eq!(
+            cpu_profile(ProgModel::NumbaParallel).pin_policy,
+            PinPolicy::Unpinned
+        );
+        for m in [
+            ProgModel::COpenMp,
+            ProgModel::KokkosOpenMp,
+            ProgModel::JuliaThreads,
+        ] {
             assert_ne!(cpu_profile(m).pin_policy, PinPolicy::Unpinned, "{m}");
         }
     }

@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn vendor_references() {
-        assert_eq!(ProgModel::vendor_reference(Arch::Epyc7A53), ProgModel::COpenMp);
+        assert_eq!(
+            ProgModel::vendor_reference(Arch::Epyc7A53),
+            ProgModel::COpenMp
+        );
         assert_eq!(ProgModel::vendor_reference(Arch::A100), ProgModel::Cuda);
         assert_eq!(ProgModel::vendor_reference(Arch::Mi250x), ProgModel::Hip);
         assert!(ProgModel::Cuda.is_vendor_reference());
@@ -222,8 +225,14 @@ mod tests {
 
     #[test]
     fn family_concretisation_matches_tables_i_and_ii() {
-        assert_eq!(ModelFamily::Kokkos.concrete(Arch::Mi250x), ProgModel::KokkosHip);
-        assert_eq!(ModelFamily::Julia.concrete(Arch::A100), ProgModel::JuliaCudaJl);
+        assert_eq!(
+            ModelFamily::Kokkos.concrete(Arch::Mi250x),
+            ProgModel::KokkosHip
+        );
+        assert_eq!(
+            ModelFamily::Julia.concrete(Arch::A100),
+            ProgModel::JuliaCudaJl
+        );
         assert_eq!(
             ModelFamily::PythonNumba.concrete(Arch::Mi250x),
             ProgModel::NumbaCuda

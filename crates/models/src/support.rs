@@ -63,8 +63,12 @@ fn half_support(model: ProgModel, arch: Arch) -> Support {
     match model {
         // "Other programming models do not provide seamless half-precision
         // support" (paper §IV.B).
-        ProgModel::COpenMp | ProgModel::KokkosOpenMp | ProgModel::KokkosCuda
-        | ProgModel::KokkosHip | ProgModel::Cuda | ProgModel::Hip => {
+        ProgModel::COpenMp
+        | ProgModel::KokkosOpenMp
+        | ProgModel::KokkosCuda
+        | ProgModel::KokkosHip
+        | ProgModel::Cuda
+        | ProgModel::Hip => {
             Support::Unsupported("no seamless FP16 support in the study's configuration")
         }
         // Julia runs FP16 everywhere; on the AMD CPU it is painfully slow

@@ -134,10 +134,7 @@ mod tests {
                         // After the barrier, everyone must have bumped the
                         // counter for this phase.
                         let seen = counter.load(Ordering::SeqCst);
-                        assert!(
-                            seen >= (phase + 1) * team,
-                            "phase {phase}: saw {seen}"
-                        );
+                        assert!(seen >= (phase + 1) * team, "phase {phase}: saw {seen}");
                         b.wait();
                     }
                 });

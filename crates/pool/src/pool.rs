@@ -122,7 +122,11 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Creates a pool of `threads` unpinned workers on a flat topology.
     pub fn new(threads: usize) -> Self {
-        Self::with_affinity(threads, CpuTopology::flat(threads.max(1)), PinPolicy::Unpinned)
+        Self::with_affinity(
+            threads,
+            CpuTopology::flat(threads.max(1)),
+            PinPolicy::Unpinned,
+        )
     }
 
     /// Creates a pool whose workers are placed on `topology` according to
@@ -208,6 +212,8 @@ impl ThreadPool {
     ///
     /// Re-raises (as a panic) if any worker's body panicked.
     pub fn run_region<F: Fn(usize) + Sync>(&self, body: &F) {
+        let mut sp = perfport_trace::span("pool", "region");
+        sp.arg("team", self.senders.len());
         let state = RegionState::new(self.senders.len());
         for tx in &self.senders {
             let job = Job {
@@ -219,7 +225,9 @@ impl ThreadPool {
         }
         state.wait();
         self.regions_run.fetch_add(1, Ordering::Relaxed);
-        if state.panicked.load(Ordering::Acquire) {
+        let panicked = state.panicked.load(Ordering::Acquire);
+        sp.arg("panicked", panicked);
+        if panicked {
             panic!("a perfport-pool worker panicked inside a parallel region");
         }
     }
@@ -232,6 +240,7 @@ impl ThreadPool {
         F: Fn(ForContext, Chunk) + Sync,
     {
         let team = self.num_threads();
+        let mut sp = perfport_trace::span("pool", "parallel_for");
         let items = SlotCell::<usize>::new(team);
         let chunks = SlotCell::<usize>::new(team);
         let busy = SlotCell::<Duration>::new(team);
@@ -274,12 +283,32 @@ impl ThreadPool {
 
         let busy = busy.into_inner();
         let max_busy = busy.iter().copied().max().unwrap_or(Duration::ZERO);
-        RegionStats {
+        let stats = RegionStats {
             items_per_thread: items.into_inner(),
             chunks_per_thread: chunks.into_inner(),
             elapsed,
             fork_join_overhead: elapsed.saturating_sub(max_busy),
+        };
+        if sp.is_recording() {
+            sp.arg("n", n);
+            sp.arg("schedule", format!("{schedule:?}"));
+            sp.arg("team", team);
+            sp.arg(
+                "items_min",
+                stats.items_per_thread.iter().copied().min().unwrap_or(0),
+            );
+            sp.arg(
+                "items_max",
+                stats.items_per_thread.iter().copied().max().unwrap_or(0),
+            );
+            sp.arg("imbalance", stats.imbalance());
+            sp.arg(
+                "fork_join_overhead_ns",
+                stats.fork_join_overhead.as_nanos() as u64,
+            );
+            perfport_trace::counter("pool", "imbalance", stats.imbalance());
         }
+        stats
     }
 
     /// Convenience per-index variant of [`ThreadPool::parallel_for`].

@@ -33,10 +33,11 @@ impl ThreadPool {
         let team = self.num_threads();
         let partials = SlotCell::<Option<T>>::new(team);
         let identity_ref = &identity;
-        let stats = self.parallel_for_cells(n, schedule, &partials, |ctx, chunk, acc: &mut Option<T>| {
-            let current = acc.take().unwrap_or_else(|| identity_ref.clone());
-            *acc = Some(fold(ctx, chunk, current));
-        });
+        let stats =
+            self.parallel_for_cells(n, schedule, &partials, |ctx, chunk, acc: &mut Option<T>| {
+                let current = acc.take().unwrap_or_else(|| identity_ref.clone());
+                *acc = Some(fold(ctx, chunk, current));
+            });
         let mut result = identity;
         for partial in partials.into_inner().into_iter().flatten() {
             result = combine(result, partial);

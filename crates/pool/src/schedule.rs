@@ -292,8 +292,14 @@ mod tests {
             StaticChunks::new(Schedule::StaticChunked { chunk: 3 }, 10, 2, 0).collect();
         let t1: Vec<Chunk> =
             StaticChunks::new(Schedule::StaticChunked { chunk: 3 }, 10, 2, 1).collect();
-        assert_eq!(t0, vec![Chunk { start: 0, end: 3 }, Chunk { start: 6, end: 9 }]);
-        assert_eq!(t1, vec![Chunk { start: 3, end: 6 }, Chunk { start: 9, end: 10 }]);
+        assert_eq!(
+            t0,
+            vec![Chunk { start: 0, end: 3 }, Chunk { start: 6, end: 9 }]
+        );
+        assert_eq!(
+            t1,
+            vec![Chunk { start: 3, end: 6 }, Chunk { start: 9, end: 10 }]
+        );
     }
 
     #[test]
@@ -374,10 +380,7 @@ mod tests {
 
     #[test]
     fn empty_range_yields_no_chunks() {
-        assert_eq!(
-            StaticChunks::new(Schedule::StaticBlock, 0, 4, 2).count(),
-            0
-        );
+        assert_eq!(StaticChunks::new(Schedule::StaticBlock, 0, 4, 2).count(), 0);
         let cursor = DynamicCursor::new(0);
         assert_eq!(cursor.grab(Schedule::Dynamic { chunk: 4 }, 2), None);
         assert_eq!(cursor.grab(Schedule::Guided { min_chunk: 4 }, 2), None);

@@ -60,9 +60,7 @@ impl<'a, T> DisjointSlice<'a, T> {
     /// Panics if the window would run past the end of the slice.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn row(&self, row: usize, width: usize) -> &mut [T] {
-        let start = row
-            .checked_mul(width)
-            .expect("row window offset overflows");
+        let start = row.checked_mul(width).expect("row window offset overflows");
         assert!(
             start + width <= self.len,
             "row window [{start}, {}) out of bounds (len {})",
@@ -123,7 +121,11 @@ impl<T: Default + Clone> SlotCell<T> {
     }
 
     pub(crate) fn into_inner(self) -> Vec<T> {
-        self.0.into_vec().into_iter().map(UnsafeCell::into_inner).collect()
+        self.0
+            .into_vec()
+            .into_iter()
+            .map(UnsafeCell::into_inner)
+            .collect()
     }
 }
 

@@ -127,10 +127,7 @@ pub fn place(topo: &CpuTopology, policy: PinPolicy, threads: usize, thread: usiz
             let d = thread % topo.numa_domains;
             let slot = (thread / topo.numa_domains) % topo.cores_per_domain;
             let core = d * topo.cores_per_domain + slot;
-            Placement::Pinned {
-                core,
-                numa: d,
-            }
+            Placement::Pinned { core, numa: d }
         }
     }
 }

@@ -1,0 +1,104 @@
+//! Property tests for the loop schedules: whatever the schedule and
+//! team shape, every index of `0..n` is executed exactly once, static
+//! chunk assignments are disjoint, and all schedules agree on totals.
+
+use perfport_pool::{Chunk, Schedule, StaticChunks, ThreadPool};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static schedules assign every index to exactly one (thread, chunk)
+    /// and the chunks are mutually disjoint, including ragged tails.
+    #[test]
+    fn static_chunks_partition_the_index_space(
+        n in 0usize..5000,
+        threads in 1usize..17,
+        chunk in 1usize..64,
+        use_chunked in proptest::bool::ANY,
+    ) {
+        let schedule = if use_chunked {
+            Schedule::StaticChunked { chunk }
+        } else {
+            Schedule::StaticBlock
+        };
+        let mut seen = vec![0u32; n];
+        let mut chunks: Vec<Chunk> = Vec::new();
+        for t in 0..threads {
+            for c in StaticChunks::new(schedule, n, threads, t) {
+                prop_assert!(!c.is_empty(), "{schedule:?} yielded an empty chunk");
+                prop_assert!(c.end <= n, "{schedule:?} overran the index space");
+                for i in c.range() {
+                    seen[i] += 1;
+                }
+                chunks.push(c);
+            }
+        }
+        prop_assert!(
+            seen.iter().all(|&count| count == 1),
+            "{schedule:?} missed or duplicated an index (n={n}, threads={threads})"
+        );
+        chunks.sort_by_key(|c| c.start);
+        for pair in chunks.windows(2) {
+            prop_assert!(
+                pair[0].end <= pair[1].start,
+                "{schedule:?} produced overlapping chunks {:?} and {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    /// The two static assignment views agree: iterating `StaticChunks`
+    /// yields exactly as many iterations per thread as the pool reports
+    /// in its region stats.
+    #[test]
+    fn static_chunks_match_pool_accounting(
+        n in 0usize..2000,
+        threads in 1usize..9,
+        chunk in 1usize..32,
+    ) {
+        let schedule = Schedule::StaticChunked { chunk };
+        let expected: Vec<usize> = (0..threads)
+            .map(|t| StaticChunks::new(schedule, n, threads, t).map(|c| c.len()).sum())
+            .collect();
+        let pool = ThreadPool::new(threads);
+        let stats = pool.parallel_for_each(n, schedule, |_| {});
+        prop_assert_eq!(&stats.items_per_thread, &expected);
+        prop_assert_eq!(stats.total_items(), n);
+    }
+
+    /// Every schedule — static or work-stealing — covers each index
+    /// exactly once through the real pool, and their totals agree.
+    #[test]
+    fn all_schedules_cover_exactly_once_through_the_pool(
+        n in 0usize..3000,
+        threads in 1usize..9,
+        chunk in 1usize..32,
+    ) {
+        let pool = ThreadPool::new(threads);
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticChunked { chunk },
+            Schedule::Dynamic { chunk },
+            Schedule::Guided { min_chunk: chunk },
+        ] {
+            let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            let stats = pool.parallel_for_each(n, schedule, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            prop_assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "{schedule:?} missed or duplicated an index (n={n}, threads={threads})"
+            );
+            prop_assert_eq!(
+                stats.total_items(),
+                n,
+                "{:?} stats disagree with the index space",
+                schedule
+            );
+            prop_assert_eq!(stats.items_per_thread.len(), threads);
+        }
+    }
+}

@@ -15,7 +15,10 @@ fn main() {
     println!("  max finite       : {}", F16::MAX);
     println!("  machine epsilon  : {}", F16::EPSILON);
     println!("  smallest normal  : {:e}", F16::MIN_POSITIVE.to_f32());
-    println!("  65504 + 32       : {} (saturates!)", F16::MAX + F16::from_f32(32.0));
+    println!(
+        "  65504 + 32       : {} (saturates!)",
+        F16::MAX + F16::from_f32(32.0)
+    );
     println!(
         "  2048 + 1         : {} (integers above 2048 are not representable)",
         F16::from_f32(2048.0) + F16::ONE
@@ -54,16 +57,22 @@ fn main() {
     );
     let ones_a = Matrix::<F16>::ones(64, 512, Layout::RowMajor);
     let ones_b = Matrix::<F16>::ones(512, 64, Layout::RowMajor);
-    let (c_ones, _) = gpu_gemm::<F16>(&gpu, GpuVariant::JuliaAmdGpu, &ones_a, &ones_b, block)
-        .unwrap();
+    let (c_ones, _) =
+        gpu_gemm::<F16>(&gpu, GpuVariant::JuliaAmdGpu, &ones_a, &ones_b, block).unwrap();
     println!(
         "  all-ones GEMM with k=512: C[0,0] = {} (exact, 512 fits in FP16's integer range)",
         c_ones[(0, 0)]
     );
     let ones_big_a = Matrix::<F16>::ones(32, 4096, Layout::RowMajor);
     let ones_big_b = Matrix::<F16>::ones(4096, 32, Layout::RowMajor);
-    let (c_big, _) = gpu_gemm::<F16>(&gpu, GpuVariant::JuliaAmdGpu, &ones_big_a, &ones_big_b, block)
-        .unwrap();
+    let (c_big, _) = gpu_gemm::<F16>(
+        &gpu,
+        GpuVariant::JuliaAmdGpu,
+        &ones_big_a,
+        &ones_big_b,
+        block,
+    )
+    .unwrap();
     println!(
         "  all-ones GEMM with k=4096: C[0,0] = {} (rounding plateaus above 2048!)",
         c_big[(0, 0)]

@@ -34,7 +34,10 @@ fn main() {
         } else {
             "consistent across platforms"
         };
-        println!("  {:<14} Phi_M {phi:.3}  PP {pp:.3}   ({verdict})", family.label());
+        println!(
+            "  {:<14} Phi_M {phi:.3}  PP {pp:.3}   ({verdict})",
+            family.label()
+        );
     }
 
     println!();

@@ -31,7 +31,11 @@ fn main() {
     ))
     .expect("CUDA.jl runs");
 
-    println!("Hand-rolled FP64 GEMM on {} ({})", Arch::A100, Arch::A100.system());
+    println!(
+        "Hand-rolled FP64 GEMM on {} ({})",
+        Arch::A100,
+        Arch::A100.system()
+    );
     println!(
         "kernel verified against the f64 reference: max rel err {:.2e} (CUDA), {:.2e} (CUDA.jl)",
         cuda.verification_rel_err, julia.verification_rel_err
@@ -41,7 +45,10 @@ fn main() {
         julia.warmup_excluded_s
     );
     println!();
-    println!("{:>8} {:>14} {:>16} {:>12}", "N", "CUDA GF/s", "CUDA.jl GF/s", "efficiency");
+    println!(
+        "{:>8} {:>14} {:>16} {:>12}",
+        "N", "CUDA GF/s", "CUDA.jl GF/s", "efficiency"
+    );
     for &n in &sizes {
         let c = cuda.at(n).unwrap();
         let j = julia.at(n).unwrap();

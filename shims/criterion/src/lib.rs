@@ -1,0 +1,215 @@
+//! In-tree stand-in for `criterion` (API subset).
+//!
+//! A minimal wall-clock harness: each benchmark body is warmed up once
+//! and then timed over a handful of iterations, reporting the mean per
+//! iteration. There is no statistical analysis, outlier rejection, or
+//! HTML report — the point is that `cargo bench`/`cargo test` build and
+//! run the bench targets hermetically, with usable relative numbers.
+//!
+//! Iteration counts are intentionally small so that bench binaries
+//! double as smoke tests under `cargo test` (harness = false targets
+//! are executed by the test runner). Set `CRITERION_SHIM_ITERS` to
+//! raise the measured iteration count for real comparisons.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The timing context handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `body` over the configured iteration count and records the
+    /// mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warm-up call outside the timed window.
+        let _ = std::hint::black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = std::hint::black_box(body());
+        }
+        self.last = Some(start.elapsed() / self.iters.max(1) as u32);
+    }
+}
+
+fn shim_iters() -> u64 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3)
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the requested sample count (accepted for API parity; the
+    /// shim's iteration count comes from `CRITERION_SHIM_ITERS`).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the requested measurement window (accepted for API parity).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates throughput (echoed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: shim_iters(),
+            last: None,
+        };
+        body(&mut b);
+        report(&self.name, &id.to_string(), b.last);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: shim_iters(),
+            last: None,
+        };
+        body(&mut b, input);
+        report(&self.name, &id.to_string(), b.last);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, per_iter: Option<Duration>) {
+    match per_iter {
+        Some(d) => println!("bench {group}/{id}: {d:?}/iter"),
+        None => println!("bench {group}/{id}: body never called iter()"),
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Re-export so bodies can use `criterion::black_box` if they want to.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|x| x * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_runs_bodies() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

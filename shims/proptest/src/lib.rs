@@ -1,0 +1,286 @@
+//! In-tree stand-in for `proptest` (API subset).
+//!
+//! Provides the strategy combinators and macros the workspace's
+//! property tests use: range strategies over ints and floats, tuple
+//! strategies, `bool::ANY`, `collection::vec`, `option::weighted`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with its generated inputs
+//!   visible in the assertion message instead of a minimized
+//!   counterexample.
+//! - **Deterministic generation.** Each test's input stream is seeded
+//!   from a hash of the test name (overridable with `PROPTEST_SEED`),
+//!   so failures reproduce exactly across runs and machines.
+
+use std::fmt;
+
+pub mod strategy;
+pub use strategy::Strategy;
+
+pub mod test_runner;
+pub use test_runner::TestRng;
+
+/// Per-test configuration, set with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod bool {
+    //! Strategies over `bool`.
+
+    use crate::{Strategy, TestRng};
+
+    /// Strategy yielding `false`/`true` uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates arbitrary booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use crate::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The length specification `vec` accepts: an exact length or a
+    /// half-open range of lengths.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec: empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    /// Strategy yielding vectors of `element` values with lengths drawn
+    /// from `size`.
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Strategies over `Option`.
+
+    use crate::{Strategy, TestRng};
+
+    /// Strategy yielding `Some(inner)` with probability `p`.
+    pub struct WeightedOption<S> {
+        p: f64,
+        inner: S,
+    }
+
+    /// `Some` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> WeightedOption<S> {
+        WeightedOption { p, inner }
+    }
+
+    impl<S: Strategy> Strategy for WeightedOption<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.p {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Formats generated inputs for failure messages.
+pub fn format_case<T: fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+/// The heart of the shim: runs each `fn name(pat in strategy, ...)`
+/// body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr); ) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..config.cases {
+                let _ = __case;
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when its inputs don't satisfy a
+/// precondition. Expands to a `continue` of the case loop, so it is
+/// only usable at the top level of a `proptest!` body (which is how the
+/// workspace uses it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, b in crate::bool::ANY, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            let _covered: bool = b; // bool::ANY produced a real bool
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        /// Tuple strategies thread through helper functions.
+        #[test]
+        fn tuples_work((a, b) in pair()) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_ne!(a, 0);
+        }
+
+        /// Collection and option combinators compose.
+        #[test]
+        fn vec_and_option(v in crate::collection::vec(crate::option::weighted(0.5, 0u32..5), 0..9)) {
+            prop_assert!(v.len() < 9);
+            for x in v.into_iter().flatten() {
+                prop_assert!(x < 5);
+            }
+        }
+
+        /// Inclusive ranges include both endpoints eventually.
+        #[test]
+        fn inclusive_range(bits in 0u16..=0xffff) {
+            let _ = bits; // full domain: nothing to violate
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::for_test("generation_is_deterministic");
+        let mut b = TestRng::for_test("generation_is_deterministic");
+        let s = 0u64..1_000_000;
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn fixed_len_vec() {
+        let mut rng = TestRng::for_test("fixed_len_vec");
+        let v = crate::collection::vec(0.0f64..1.5, 20usize).generate(&mut rng);
+        assert_eq!(v.len(), 20);
+    }
+}

@@ -1,0 +1,18 @@
+//! In-tree stand-in for `serde`.
+//!
+//! Perfport's value types derive `Serialize`/`Deserialize` as a forward
+//! declaration of wire-format intent, but nothing in the workspace
+//! serializes through serde today (all rendering is hand-written text,
+//! CSV, and JSON). This stand-in keeps those derives compiling without
+//! registry access: the traits are empty markers and the derive macros
+//! expand to nothing. Swapping the real serde back in is a one-line
+//! change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name. No methods: the
+/// in-tree derives expand to nothing, so nothing ever bounds on this.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,23 @@
+//! No-op derive macros backing the in-tree `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types so a
+//! future wire format can be added without churn, but nothing currently
+//! serializes through serde (reports are rendered by hand). These
+//! derives accept the same attribute grammar (`#[serde(...)]`) and
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes;
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes;
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,3 +12,4 @@ pub use perfport_machines as machines;
 pub use perfport_metrics as metrics;
 pub use perfport_models as models;
 pub use perfport_pool as pool;
+pub use perfport_trace as trace;

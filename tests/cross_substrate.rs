@@ -21,7 +21,14 @@ fn cpu_pool_and_gpu_sim_agree() {
 
     let pool = ThreadPool::new(4);
     let mut c_cpu = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
-    par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c_cpu, Schedule::StaticBlock);
+    par_gemm(
+        &pool,
+        CpuVariant::OpenMpC,
+        &a,
+        &b,
+        &mut c_cpu,
+        Schedule::StaticBlock,
+    );
 
     let gpu = Gpu::new(GpuVariant::Cuda.device_class());
     let (c_gpu, stats) = gpu_gemm(&gpu, GpuVariant::Cuda, &a, &b, Dim3::d2(16, 16)).unwrap();
@@ -43,7 +50,11 @@ fn seventeen_engines_one_answer() {
     for order in LoopOrder::ALL {
         let mut c = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
         gemm_loop_order(order, &a_row, &b_row, &mut c);
-        assert!(c.max_abs_diff(&reference) < tol, "loop order {}", order.name());
+        assert!(
+            c.max_abs_diff(&reference) < tol,
+            "loop order {}",
+            order.name()
+        );
     }
     for v in CpuVariant::ALL {
         let layout = v.layout();
@@ -110,9 +121,17 @@ fn device_class_changes_warps_not_results() {
         Dim3::d2(32, 32),
     )
     .unwrap();
-    assert_eq!(c_nv.max_abs_diff(&c_amd), 0.0, "identical kernel, identical result");
+    assert_eq!(
+        c_nv.max_abs_diff(&c_amd),
+        0.0,
+        "identical kernel, identical result"
+    );
     assert_eq!(s_nv.loads, s_amd.loads);
-    assert_eq!(s_nv.warps, 2 * s_amd.warps, "64-wide wavefronts halve the warp count");
+    assert_eq!(
+        s_nv.warps,
+        2 * s_amd.warps,
+        "64-wide wavefronts halve the warp count"
+    );
 }
 
 /// The productivity metrics order the snippets plausibly: every model's
@@ -122,7 +141,10 @@ fn productivity_metrics_on_paper_snippets() {
     for v in CpuVariant::ALL {
         let p = productivity(v.source_snippet());
         assert!(p.lines >= 8 && p.lines <= 16, "{v}: {} lines", p.lines);
-        assert!(p.parallel_annotations >= 1, "{v} has no parallel annotation");
+        assert!(
+            p.parallel_annotations >= 1,
+            "{v} has no parallel annotation"
+        );
     }
     // The paper's qualitative point: OpenMP needs a single pragma on a
     // serial loop; Kokkos restructures the whole kernel as a lambda.
@@ -139,7 +161,14 @@ fn pool_stats_consistent_with_gemm_shape() {
     let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 51);
     let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 52);
     let mut c = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
-    let stats = par_gemm(&pool, CpuVariant::OpenMpC, &a, &b, &mut c, Schedule::Dynamic { chunk: 4 });
+    let stats = par_gemm(
+        &pool,
+        CpuVariant::OpenMpC,
+        &a,
+        &b,
+        &mut c,
+        Schedule::Dynamic { chunk: 4 },
+    );
     assert_eq!(stats.total_items(), m, "one work item per row");
     assert!(stats.imbalance() >= 1.0);
     assert!(perfport::gemm::verify_gemm(&a, &b, &c).is_ok());

@@ -24,7 +24,9 @@ fn all_eleven_figure_panels_regenerate() {
                 Ok(r) => {
                     assert!(!r.points.is_empty(), "{}: {model} has no points", spec.id);
                     assert!(
-                        r.points.iter().all(|p| p.gflops.is_finite() && p.gflops > 0.0),
+                        r.points
+                            .iter()
+                            .all(|p| p.gflops.is_finite() && p.gflops > 0.0),
                         "{}: {model} produced non-finite throughput",
                         spec.id
                     );
@@ -86,6 +88,38 @@ fn every_experiment_is_deterministic_end_to_end() {
         assert_eq!(x.gflops.to_bits(), y.gflops.to_bits(), "non-deterministic");
     }
     assert_eq!(a.verification_rel_err, b.verification_rel_err);
+
+    // Tracing is observation-only: rerunning with a collector installed
+    // must not perturb a single bit of the results. (Other tests in this
+    // binary may record into the session concurrently; that is fine —
+    // the assertion is about the experiment's outputs, not the events.)
+    let session = perfport::trace::TraceSession::start();
+    let traced = run_experiment(&exp).unwrap();
+    let events = session.finish();
+    for (x, y) in a.points.iter().zip(&traced.points) {
+        assert_eq!(
+            x.gflops.to_bits(),
+            y.gflops.to_bits(),
+            "tracing perturbed the modelled results"
+        );
+    }
+    assert_eq!(a.verification_rel_err, traced.verification_rel_err);
+    // The traced run recorded the expected span structure.
+    use perfport::trace::EventKind;
+    let experiment_spans = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd && e.cat == "runner" && e.name == "experiment")
+        .count();
+    assert!(experiment_spans >= 1, "no runner:experiment span recorded");
+    let size_points = events
+        .iter()
+        .filter(|e| e.kind == EventKind::SpanEnd && e.cat == "runner" && e.name == "size_point")
+        .count();
+    assert!(
+        size_points >= exp.sizes.len(),
+        "expected at least {} size_point spans, got {size_points}",
+        exp.sizes.len()
+    );
 }
 
 #[test]

@@ -1,0 +1,86 @@
+//! Golden-file tests for the rendered artifacts.
+//!
+//! The pipeline is deterministic end to end (seeded inputs, modelled
+//! timings, seeded noise), so the exact rendered text of Table III and
+//! the CSV blocks is a stable artifact worth pinning: any drift in the
+//! models, the support matrix, or the formatting shows up as a diff
+//! here instead of silently changing the "paper".
+//!
+//! To intentionally accept new output:
+//!
+//! ```text
+//! PERFPORT_UPDATE_GOLDEN=1 cargo test --test golden_outputs
+//! ```
+
+use perfport::core::{efficiency_table, figure_specs, render_csv, render_table3, StudyConfig};
+use perfport::machines::Precision;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("PERFPORT_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             PERFPORT_UPDATE_GOLDEN=1 cargo test --test golden_outputs",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the pinned output; if intentional, regenerate with \
+         PERFPORT_UPDATE_GOLDEN=1 cargo test --test golden_outputs"
+    );
+}
+
+#[test]
+fn table3_matches_golden() {
+    let cfg = StudyConfig::quick();
+    let reports = vec![
+        efficiency_table(Precision::Double, &cfg),
+        efficiency_table(Precision::Single, &cfg),
+    ];
+    check_golden("table3_quick.txt", &render_table3(&reports));
+}
+
+#[test]
+fn fig7a_csv_matches_golden() {
+    let cfg = StudyConfig::quick();
+    let spec = figure_specs()
+        .into_iter()
+        .find(|s| s.id == "fig7a")
+        .expect("fig7a registered");
+    check_golden("fig7a_quick.csv", &render_csv(&spec.run(&cfg)));
+}
+
+#[test]
+fn fig4a_csv_matches_golden() {
+    let cfg = StudyConfig::quick();
+    let spec = figure_specs()
+        .into_iter()
+        .find(|s| s.id == "fig4a")
+        .expect("fig4a registered");
+    check_golden("fig4a_quick.csv", &render_csv(&spec.run(&cfg)));
+}
+
+/// The FP16 GPU panel exercises the unsupported-model gap rendering
+/// (Numba's ones-filled workaround note, missing vendor column).
+#[test]
+fn fig7c_csv_matches_golden() {
+    let cfg = StudyConfig::quick();
+    let spec = figure_specs()
+        .into_iter()
+        .find(|s| s.id == "fig7c")
+        .expect("fig7c registered");
+    check_golden("fig7c_quick.csv", &render_csv(&spec.run(&cfg)));
+}

@@ -20,10 +20,30 @@ const GPU_SIZES: &[usize] = &[8192, 16384];
 /// vendor C/OpenMP implementation, whereas Python/Numba is still behind."
 #[test]
 fn crusher_cpu_ordering() {
-    let openmp = mean_gflops(Arch::Epyc7A53, ProgModel::COpenMp, Precision::Double, CPU_SIZES);
-    let kokkos = mean_gflops(Arch::Epyc7A53, ProgModel::KokkosOpenMp, Precision::Double, CPU_SIZES);
-    let julia = mean_gflops(Arch::Epyc7A53, ProgModel::JuliaThreads, Precision::Double, CPU_SIZES);
-    let numba = mean_gflops(Arch::Epyc7A53, ProgModel::NumbaParallel, Precision::Double, CPU_SIZES);
+    let openmp = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::COpenMp,
+        Precision::Double,
+        CPU_SIZES,
+    );
+    let kokkos = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::KokkosOpenMp,
+        Precision::Double,
+        CPU_SIZES,
+    );
+    let julia = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::JuliaThreads,
+        Precision::Double,
+        CPU_SIZES,
+    );
+    let numba = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::NumbaParallel,
+        Precision::Double,
+        CPU_SIZES,
+    );
     assert!(kokkos > 0.9 * openmp, "Kokkos comparable");
     assert!(julia > 0.85 * openmp, "Julia comparable");
     assert!(numba < 0.65 * openmp, "Numba clearly behind");
@@ -47,10 +67,28 @@ fn wombat_cpu_kokkos_slowdown_julia_on_par() {
 /// single-NUMA Wombat, Numba's deficit is smaller.
 #[test]
 fn numba_numa_penalty_is_crusher_specific() {
-    let crusher_ratio = mean_gflops(Arch::Epyc7A53, ProgModel::NumbaParallel, Precision::Double, CPU_SIZES)
-        / mean_gflops(Arch::Epyc7A53, ProgModel::COpenMp, Precision::Double, CPU_SIZES);
-    let wombat_ratio = mean_gflops(Arch::AmpereAltra, ProgModel::NumbaParallel, Precision::Double, CPU_SIZES)
-        / mean_gflops(Arch::AmpereAltra, ProgModel::COpenMp, Precision::Double, CPU_SIZES);
+    let crusher_ratio = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::NumbaParallel,
+        Precision::Double,
+        CPU_SIZES,
+    ) / mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::COpenMp,
+        Precision::Double,
+        CPU_SIZES,
+    );
+    let wombat_ratio = mean_gflops(
+        Arch::AmpereAltra,
+        ProgModel::NumbaParallel,
+        Precision::Double,
+        CPU_SIZES,
+    ) / mean_gflops(
+        Arch::AmpereAltra,
+        ProgModel::COpenMp,
+        Precision::Double,
+        CPU_SIZES,
+    );
     assert!(
         wombat_ratio > crusher_ratio + 0.1,
         "crusher {crusher_ratio:.3} vs wombat {wombat_ratio:.3}"
@@ -63,9 +101,22 @@ fn numba_numa_penalty_is_crusher_specific() {
 #[test]
 fn mi250x_fp64_ordering() {
     let hip = mean_gflops(Arch::Mi250x, ProgModel::Hip, Precision::Double, GPU_SIZES);
-    let julia = mean_gflops(Arch::Mi250x, ProgModel::JuliaAmdGpu, Precision::Double, GPU_SIZES);
-    let kokkos = mean_gflops(Arch::Mi250x, ProgModel::KokkosHip, Precision::Double, GPU_SIZES);
-    assert!(hip > julia && julia > kokkos, "hip {hip}, julia {julia}, kokkos {kokkos}");
+    let julia = mean_gflops(
+        Arch::Mi250x,
+        ProgModel::JuliaAmdGpu,
+        Precision::Double,
+        GPU_SIZES,
+    );
+    let kokkos = mean_gflops(
+        Arch::Mi250x,
+        ProgModel::KokkosHip,
+        Precision::Double,
+        GPU_SIZES,
+    );
+    assert!(
+        hip > julia && julia > kokkos,
+        "hip {hip}, julia {julia}, kokkos {kokkos}"
+    );
     // "competitive levels" — within ~20% for Julia.
     assert!(julia > 0.8 * hip);
 }
@@ -75,7 +126,12 @@ fn mi250x_fp64_ordering() {
 #[test]
 fn mi250x_fp32_julia_edges_hip() {
     let hip = mean_gflops(Arch::Mi250x, ProgModel::Hip, Precision::Single, GPU_SIZES);
-    let julia = mean_gflops(Arch::Mi250x, ProgModel::JuliaAmdGpu, Precision::Single, GPU_SIZES);
+    let julia = mean_gflops(
+        Arch::Mi250x,
+        ProgModel::JuliaAmdGpu,
+        Precision::Single,
+        GPU_SIZES,
+    );
     assert!(julia > hip);
     assert!(julia < 1.15 * hip, "the edge is slight");
 }
@@ -102,11 +158,17 @@ fn mi250x_kokkos_dip_at_largest_size() {
 fn a100_julia_constant_overhead() {
     let sizes = vec![4096, 8192, 12288, 16384, 20480];
     let cuda = run_experiment(&Experiment::new(
-        Arch::A100, ProgModel::Cuda, Precision::Double, sizes.clone(),
+        Arch::A100,
+        ProgModel::Cuda,
+        Precision::Double,
+        sizes.clone(),
     ))
     .unwrap();
     let julia = run_experiment(&Experiment::new(
-        Arch::A100, ProgModel::JuliaCudaJl, Precision::Double, sizes.clone(),
+        Arch::A100,
+        ProgModel::JuliaCudaJl,
+        Precision::Double,
+        sizes.clone(),
     ))
     .unwrap();
     let ratios: Vec<f64> = sizes
@@ -115,7 +177,10 @@ fn a100_julia_constant_overhead() {
         .collect();
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     for r in &ratios {
-        assert!((r - mean).abs() < 0.08, "overhead is not constant: {ratios:?}");
+        assert!(
+            (r - mean).abs() < 0.08,
+            "overhead is not constant: {ratios:?}"
+        );
     }
     assert!((0.8..0.95).contains(&mean), "Fig. 7a ratio band: {mean}");
 }
@@ -146,7 +211,11 @@ fn a100_fp32_gains_vendor_vs_others() {
     };
     let cuda_gain = gain(ProgModel::Cuda);
     assert!(cuda_gain > 1.6, "vendor FP32 gain significant: {cuda_gain}");
-    for model in [ProgModel::KokkosCuda, ProgModel::JuliaCudaJl, ProgModel::NumbaCuda] {
+    for model in [
+        ProgModel::KokkosCuda,
+        ProgModel::JuliaCudaJl,
+        ProgModel::NumbaCuda,
+    ] {
         assert!(
             gain(model) < cuda_gain - 0.15,
             "{model} should gain less than CUDA"
@@ -177,12 +246,32 @@ fn fp16_no_gain_over_fp32() {
 /// Arm it works at the expected level (Fig. 5c).
 #[test]
 fn julia_fp16_cpu_split() {
-    let on_amd = mean_gflops(Arch::Epyc7A53, ProgModel::JuliaThreads, Precision::Half, CPU_SIZES);
-    let amd_fp64 = mean_gflops(Arch::Epyc7A53, ProgModel::JuliaThreads, Precision::Double, CPU_SIZES);
+    let on_amd = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::JuliaThreads,
+        Precision::Half,
+        CPU_SIZES,
+    );
+    let amd_fp64 = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::JuliaThreads,
+        Precision::Double,
+        CPU_SIZES,
+    );
     assert!(on_amd < 0.3 * amd_fp64, "Zen 3 FP16 should be very slow");
 
-    let on_arm = mean_gflops(Arch::AmpereAltra, ProgModel::JuliaThreads, Precision::Half, CPU_SIZES);
-    let arm_fp32 = mean_gflops(Arch::AmpereAltra, ProgModel::JuliaThreads, Precision::Single, CPU_SIZES);
+    let on_arm = mean_gflops(
+        Arch::AmpereAltra,
+        ProgModel::JuliaThreads,
+        Precision::Half,
+        CPU_SIZES,
+    );
+    let arm_fp32 = mean_gflops(
+        Arch::AmpereAltra,
+        ProgModel::JuliaThreads,
+        Precision::Single,
+        CPU_SIZES,
+    );
     assert!(on_arm > 0.8 * arm_fp32, "Arm FP16 at the expected level");
 }
 
@@ -191,6 +280,11 @@ fn julia_fp16_cpu_split() {
 #[test]
 fn gpus_dwarf_cpus() {
     let a100 = mean_gflops(Arch::A100, ProgModel::Cuda, Precision::Double, &[8192]);
-    let epyc = mean_gflops(Arch::Epyc7A53, ProgModel::COpenMp, Precision::Double, &[8192]);
+    let epyc = mean_gflops(
+        Arch::Epyc7A53,
+        ProgModel::COpenMp,
+        Precision::Double,
+        &[8192],
+    );
     assert!(a100 > 4.0 * epyc, "a100 {a100} vs epyc {epyc}");
 }
