@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use perfport_gemm::{
-    gemm_flops, par_gemm, serial::gemm_blocked, serial::gemm_loop_order, CpuVariant, Layout,
-    LoopOrder, Matrix,
+    gemm_flops, par_gemm, serial::gemm_blocked, serial::gemm_loop_order, tuned, CpuVariant, Layout,
+    LoopOrder, Matrix, PackArena, TileShape, TunedParams,
 };
 use perfport_half::F16;
 use perfport_pool::{Schedule, ThreadPool};
@@ -171,6 +171,60 @@ fn bench_tiles(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_tuned(c: &mut Criterion) {
+    let n = 256;
+    let mut group = quick(c).benchmark_group("tuned_vendor_kernel");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(criterion::Throughput::Elements(gemm_flops(n, n, n)));
+
+    let a = Matrix::<f64>::random(n, n, Layout::RowMajor, 1);
+    let b = Matrix::<f64>::random(n, n, Layout::RowMajor, 2);
+    // Serial packed kernel per register-tile shape (the A4 sweep).
+    for tile in TileShape::ALL {
+        let params = TunedParams::with_tile(
+            perfport_pool::CacheInfo::host(),
+            tile,
+            std::mem::size_of::<f64>(),
+        );
+        let mut arena = PackArena::new();
+        group.bench_function(format!("serial_{}", tile.name()), |bench| {
+            bench.iter(|| {
+                let mut cm = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+                tuned::gemm_serial(black_box(&a), black_box(&b), &mut cm, &params, &mut arena);
+                black_box(cm)
+            })
+        });
+    }
+    // Parallel tuned vs the fastest naive variant, same pool.
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(8));
+    let pool = ThreadPool::new(threads);
+    let params = TunedParams::host::<f64>();
+    group.bench_function("parallel_auto_tile", |bench| {
+        bench.iter(|| {
+            let mut cm = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+            tuned::gemm(&pool, black_box(&a), black_box(&b), &mut cm, &params);
+            black_box(cm)
+        })
+    });
+    group.bench_function("parallel_naive_openmp", |bench| {
+        bench.iter(|| {
+            let mut cm = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+            par_gemm(
+                &pool,
+                CpuVariant::OpenMpC,
+                black_box(&a),
+                black_box(&b),
+                &mut cm,
+                Schedule::StaticBlock,
+            );
+            black_box(cm)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_loop_orders,
@@ -178,6 +232,7 @@ criterion_group!(
     bench_precisions,
     bench_thread_scaling,
     bench_schedules,
-    bench_tiles
+    bench_tiles,
+    bench_tuned
 );
 criterion_main!(benches);

@@ -7,7 +7,11 @@
 //!   guided on the modelled node (uniform GEMM rows make static optimal),
 //!   plus coarse row-parallel vs. fine element-grid decomposition on the
 //!   real host pool.
+//! * **A7 — register-tile shape** of the tuned vendor stand-in: every
+//!   supported MR×NR microkernel shape, measured on the host pool, next to
+//!   the shape `TunedParams::host` auto-selects.
 
+use perfport_bench::HarnessArgs;
 use perfport_gemm::{par_gemm, par_gemm_element_grid, CpuVariant, Matrix};
 use perfport_machines::{
     estimate_cpu_gemm, numa_locality, CpuExecution, CpuMachine, GemmShape, Precision,
@@ -16,10 +20,16 @@ use perfport_pool::{Schedule, ThreadPool};
 use std::time::Instant;
 
 fn main() {
+    let args = HarnessArgs::from_env();
+    let trace = args.start_trace();
     pinning_ablation();
     schedule_ablation();
     granularity_ablation();
     tiling_ablation();
+    tile_shape_ablation(&args);
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }
 
 /// A1: modelled pinning effect per machine.
@@ -150,5 +160,59 @@ fn tiling_ablation() {
          forgo this deliberately to isolate each model's default codegen",
         naive.loads as f64 / tiled.loads as f64,
         perfport_gemm::TILE
+    );
+}
+
+/// A7: register-tile shape sweep of the tuned packed kernel — every
+/// supported MR×NR microkernel, wall-clock on the host pool.
+fn tile_shape_ablation(args: &HarnessArgs) {
+    use perfport_gemm::{gemm_flops, tuned, Layout, TileShape, TunedParams};
+    use perfport_pool::CacheInfo;
+
+    let n = if args.quick { 512 } else { 1024 };
+    let reps = if args.quick { 2 } else { 3 };
+    let pool = args.make_pool();
+    let cache = CacheInfo::host();
+    let auto = TunedParams::host::<f64>();
+
+    println!();
+    println!("== A7: tuned-kernel register-tile shape (host measurement) ==");
+    println!(
+        "  n={n} FP64, {} workers; {:>6} {:>12} {:>24}",
+        pool.num_threads(),
+        "tile",
+        "GFLOP/s",
+        "blocks (mc/kc/nc)"
+    );
+    let a = Matrix::<f64>::random(n, n, Layout::RowMajor, 11);
+    let b = Matrix::<f64>::random(n, n, Layout::RowMajor, 12);
+    let flops = gemm_flops(n, n, n);
+    for tile in TileShape::ALL {
+        let params = TunedParams::with_tile(cache, tile, std::mem::size_of::<f64>());
+        let mut c = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+        tuned::gemm(&pool, &a, &b, &mut c, &params); // warm-up (excluded)
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            c.fill_zero();
+            tuned::gemm(&pool, &a, &b, &mut c, &params);
+        }
+        let gflops = flops as f64 * reps as f64 / t0.elapsed().as_secs_f64() / 1e9;
+        let marker = if tile == auto.tile {
+            "  <- auto-selected"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>33} {:>12.3} {:>15}/{}/{}{marker}",
+            tile.name(),
+            gflops,
+            params.blocks.mc,
+            params.blocks.kc,
+            params.blocks.nc
+        );
+    }
+    println!(
+        "  (wider tiles amortise B-panel loads until the accumulator block \
+         spills out of registers; `TunedParams::host` picks by element width)"
     );
 }

@@ -2,11 +2,16 @@
 //!
 //! Every binary accepts `--quick` (reduced sweep for smoke testing),
 //! `--csv` (machine-readable output next to the human-readable table),
-//! and `--trace <path>` (write a Chrome `trace_event` file capturing
-//! region, kernel-launch, and size-point spans for the run).
+//! `--threads <n>` (worker-team size, default: all available cores), and
+//! `--trace <path>` (write a Chrome `trace_event` file capturing region,
+//! kernel-launch, and size-point spans for the run). Unknown flags are
+//! an error: the binary prints the usage line and exits with status 2.
 
 use perfport_core::{figure_specs, render_csv, render_figure, FigureSpec, StudyConfig};
 use std::path::PathBuf;
+
+/// The usage line shared by every regeneration binary.
+pub const USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>]";
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone, Default)]
@@ -15,38 +20,84 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// Also print CSV blocks.
     pub csv: bool,
+    /// Worker-team size override (`None`: all available cores).
+    pub threads: Option<usize>,
     /// Write a Chrome trace of the run here.
     pub trace: Option<PathBuf>,
+    /// `--help`/`-h` was given; [`HarnessArgs::parse`] prints usage and
+    /// exits before a binary ever observes this set.
+    pub help: bool,
 }
 
 impl HarnessArgs {
-    /// Parses the arguments every binary supports.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// Parses the arguments every binary supports, returning an error
+    /// message for anything unrecognised or malformed.
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--csv" => out.csv = true,
+                "--help" | "-h" => out.help = true,
+                "--threads" => match it.next() {
+                    Some(n) => out.threads = Some(parse_thread_count(&n)?),
+                    None => return Err("--threads requires a count argument".to_string()),
+                },
                 "--trace" => match it.next() {
                     Some(path) => out.trace = Some(PathBuf::from(path)),
-                    None => eprintln!("--trace requires a path argument"),
+                    None => return Err("--trace requires a path argument".to_string()),
                 },
                 other => {
-                    if let Some(path) = other.strip_prefix("--trace=") {
+                    if let Some(n) = other.strip_prefix("--threads=") {
+                        out.threads = Some(parse_thread_count(n)?);
+                    } else if let Some(path) = other.strip_prefix("--trace=") {
                         out.trace = Some(PathBuf::from(path));
-                    } else if matches!(other, "--help" | "-h") {
-                        eprintln!("usage: [--quick] [--csv] [--trace <path>]");
+                    } else {
+                        return Err(format!("unknown argument '{other}'"));
                     }
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Parses the arguments every binary supports; prints the usage line
+    /// and exits non-zero on anything unrecognised (exits zero for
+    /// `--help`).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_parse(args) {
+            Ok(out) if out.help => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Ok(out) => out,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses from the process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// The worker-team size to run with: the `--threads` override, or
+    /// every core the OS reports.
+    pub fn thread_count(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    }
+
+    /// Builds the worker pool these arguments select.
+    pub fn make_pool(&self) -> perfport_pool::ThreadPool {
+        perfport_pool::ThreadPool::new(self.thread_count())
     }
 
     /// The study configuration these arguments select.
@@ -94,6 +145,13 @@ impl TraceOutput {
     }
 }
 
+fn parse_thread_count(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("invalid thread count '{s}'")),
+    }
+}
+
 /// Finds a registered figure spec by id.
 ///
 /// # Panics
@@ -129,36 +187,67 @@ pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
 mod tests {
     use super::*;
 
+    fn parse_ok(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::try_parse(args.iter().map(|s| s.to_string())).expect("args must parse")
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        HarnessArgs::try_parse(args.iter().map(|s| s.to_string()))
+            .expect_err("args must be rejected")
+    }
+
     #[test]
     fn arg_parsing() {
-        let a = HarnessArgs::parse(vec!["--quick".to_string(), "--csv".to_string()]);
+        let a = parse_ok(&["--quick", "--csv"]);
         assert!(a.quick && a.csv);
-        assert!(a.trace.is_none());
-        let b = HarnessArgs::parse(Vec::<String>::new());
+        assert!(a.trace.is_none() && a.threads.is_none() && !a.help);
+        let b = parse_ok(&[]);
         assert!(!b.quick && !b.csv);
         assert_eq!(b.config().gpu_sizes.len(), 9);
         assert_eq!(a.config().gpu_sizes.len(), 2);
+        assert!(parse_ok(&["--help"]).help);
+        assert!(parse_ok(&["-h"]).help);
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        // The satellite contract: a typo'd flag must not be silently
+        // ignored (HarnessArgs::parse turns these into usage + exit 2).
+        assert!(parse_err(&["--qiuck"]).contains("--qiuck"));
+        assert!(parse_err(&["--quick", "--frobnicate"]).contains("--frobnicate"));
+        assert!(parse_err(&["stray"]).contains("stray"));
+        assert!(USAGE.contains("--quick") && USAGE.contains("--threads"));
+    }
+
+    #[test]
+    fn threads_flag_takes_a_count() {
+        assert_eq!(parse_ok(&["--threads", "8"]).threads, Some(8));
+        assert_eq!(parse_ok(&["--threads=3", "--quick"]).threads, Some(3));
+        assert_eq!(parse_ok(&["--threads", "8"]).thread_count(), 8);
+        // Default: every core the OS reports (always at least one).
+        assert!(parse_ok(&[]).thread_count() >= 1);
+        assert!(parse_err(&["--threads"]).contains("count"));
+        assert!(parse_err(&["--threads", "zero"]).contains("zero"));
+        assert!(parse_err(&["--threads=0"]).contains('0'));
+        let pool = parse_ok(&["--threads", "3"]).make_pool();
+        assert_eq!(pool.num_threads(), 3);
     }
 
     #[test]
     fn trace_flag_takes_a_path() {
-        let a = HarnessArgs::parse(vec!["--trace".to_string(), "/tmp/x.trace".to_string()]);
+        let a = parse_ok(&["--trace", "/tmp/x.trace"]);
         assert_eq!(
             a.trace.as_deref(),
             Some(std::path::Path::new("/tmp/x.trace"))
         );
-        let b = HarnessArgs::parse(vec![
-            "--trace=/tmp/y.trace".to_string(),
-            "--quick".to_string(),
-        ]);
+        let b = parse_ok(&["--trace=/tmp/y.trace", "--quick"]);
         assert_eq!(
             b.trace.as_deref(),
             Some(std::path::Path::new("/tmp/y.trace"))
         );
         assert!(b.quick);
-        // A dangling --trace is reported, not fatal.
-        let c = HarnessArgs::parse(vec!["--trace".to_string()]);
-        assert!(c.trace.is_none());
+        // A dangling --trace is now a hard error, like any malformed flag.
+        assert!(parse_err(&["--trace"]).contains("path"));
     }
 
     #[test]

@@ -5,7 +5,48 @@ use crate::runner::run_experiment;
 use crate::study::StudyConfig;
 use perfport_machines::Precision;
 use perfport_metrics::EfficiencyMatrix;
-use perfport_models::{Arch, ModelFamily, ProgModel};
+use perfport_models::{vendor_headroom, Arch, ModelFamily, ProgModel};
+
+/// What stands in for the vendor library in the `e_i` denominator on the
+/// CPU architectures (GPU rows are unaffected either way: CUDA/HIP *are*
+/// the vendor path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HostBaseline {
+    /// The paper's published framing: the naive loop nest compiled by the
+    /// vendor toolchain. Used by the cross-check tests that pin this
+    /// repository to Table III as printed.
+    NaiveModel,
+    /// The honest framing: the naive vendor-toolchain denominator scaled
+    /// by the measured headroom of the tuned packed kernel
+    /// (`perfport-gemm::tuned`, ratios committed in
+    /// [`perfport_models::vendor`]). CPU efficiencies drop by that factor
+    /// — a vendor BLAS is not a naive loop nest.
+    #[default]
+    MeasuredTuned,
+}
+
+impl HostBaseline {
+    /// Denominator multiplier for one (architecture, precision) cell.
+    fn headroom(&self, arch: Arch, precision: Precision) -> f64 {
+        match self {
+            HostBaseline::NaiveModel => 1.0,
+            HostBaseline::MeasuredTuned => vendor_headroom(arch, precision).value,
+        }
+    }
+
+    /// One-line description for table footers.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            HostBaseline::NaiveModel => {
+                "host baseline: naive loop nest via vendor toolchain (paper's framing)"
+            }
+            HostBaseline::MeasuredTuned => {
+                "host baseline: measured tuned kernel (naive vendor runs scaled by the \
+                 headroom in BENCH_gemm.json)"
+            }
+        }
+    }
+}
 
 /// Table III for one precision: the efficiency matrix over (architecture
 /// × portable-model family) plus the Φ_M aggregates.
@@ -15,6 +56,9 @@ pub struct EfficiencyReport {
     pub precision: Precision,
     /// `e_i(a)` values; `None` where the model cannot run.
     pub matrix: EfficiencyMatrix,
+    /// The host-side denominator these efficiencies were computed
+    /// against.
+    pub baseline: HostBaseline,
 }
 
 impl EfficiencyReport {
@@ -29,10 +73,21 @@ impl EfficiencyReport {
     }
 }
 
+/// Computes the Table III panel for `precision` against the default
+/// [`HostBaseline::MeasuredTuned`] denominator.
+pub fn efficiency_table(precision: Precision, cfg: &StudyConfig) -> EfficiencyReport {
+    efficiency_table_with(precision, cfg, HostBaseline::default())
+}
+
 /// Computes the Table III panel for `precision`: for every architecture,
 /// run the vendor reference and each portable family, and record the
-/// ratio of mean throughputs over the sweep (Eq. 2).
-pub fn efficiency_table(precision: Precision, cfg: &StudyConfig) -> EfficiencyReport {
+/// ratio of mean throughputs over the sweep (Eq. 2), with the host-side
+/// denominator chosen by `baseline`.
+pub fn efficiency_table_with(
+    precision: Precision,
+    cfg: &StudyConfig,
+    baseline: HostBaseline,
+) -> EfficiencyReport {
     let platforms: Vec<String> = Arch::ALL.iter().map(|a| a.table_label().into()).collect();
     let models: Vec<String> = ModelFamily::ALL.iter().map(|f| f.label().into()).collect();
     let mut matrix = EfficiencyMatrix::new(platforms, models);
@@ -45,6 +100,7 @@ pub fn efficiency_table(precision: Precision, cfg: &StudyConfig) -> EfficiencyRe
             cfg,
         ))
         .expect("vendor reference must run");
+        let headroom = baseline.headroom(arch, precision);
 
         for family in ModelFamily::ALL {
             let model = family.concrete(arch);
@@ -56,7 +112,7 @@ pub fn efficiency_table(precision: Precision, cfg: &StudyConfig) -> EfficiencyRe
                 for p in &result.points {
                     if let Some(v) = vendor_result.at(p.n) {
                         if v.gflops > 0.0 {
-                            ratios.push(p.gflops / v.gflops);
+                            ratios.push(p.gflops / (v.gflops * headroom));
                         }
                     }
                 }
@@ -68,7 +124,11 @@ pub fn efficiency_table(precision: Precision, cfg: &StudyConfig) -> EfficiencyRe
         }
     }
 
-    EfficiencyReport { precision, matrix }
+    EfficiencyReport {
+        precision,
+        matrix,
+        baseline,
+    }
 }
 
 fn with_cfg(mut e: Experiment, cfg: &StudyConfig) -> Experiment {
@@ -118,9 +178,19 @@ mod tests {
         }
     }
 
+    /// The Table III cross-check tests run against
+    /// [`HostBaseline::NaiveModel`]: the paper's published numbers divide
+    /// by the naive loop nest compiled with the vendor toolchain, so that
+    /// is the denominator they can be compared to. The default
+    /// `MeasuredTuned` baseline deliberately reports *lower* CPU
+    /// efficiencies (see `measured_baseline_scales_cpu_rows_down`).
+    fn naive_table(precision: Precision) -> EfficiencyReport {
+        efficiency_table_with(precision, &StudyConfig::quick(), HostBaseline::NaiveModel)
+    }
+
     #[test]
     fn double_precision_efficiencies_track_table_iii() {
-        let report = efficiency_table(Precision::Double, &StudyConfig::quick());
+        let report = naive_table(Precision::Double);
         for (arch, family, expected) in paper_table(Precision::Double) {
             let got = report.matrix.get(arch.table_label(), family.label());
             match expected {
@@ -140,7 +210,7 @@ mod tests {
 
     #[test]
     fn single_precision_efficiencies_track_table_iii() {
-        let report = efficiency_table(Precision::Single, &StudyConfig::quick());
+        let report = naive_table(Precision::Single);
         for (arch, family, expected) in paper_table(Precision::Single) {
             let got = report.matrix.get(arch.table_label(), family.label());
             match expected {
@@ -159,19 +229,23 @@ mod tests {
     #[test]
     fn phi_ordering_matches_the_paper() {
         // Julia > Kokkos > Python/Numba in both precisions (paper §V).
+        // The ordering is invariant under the host-baseline choice (a
+        // per-architecture rescaling), so check it in both modes.
         for precision in [Precision::Double, Precision::Single] {
-            let r = efficiency_table(precision, &StudyConfig::quick());
-            let julia = r.phi(ModelFamily::Julia);
-            let kokkos = r.phi(ModelFamily::Kokkos);
-            let numba = r.phi(ModelFamily::PythonNumba);
-            assert!(julia > kokkos, "{precision}: {julia} vs {kokkos}");
-            assert!(kokkos > numba, "{precision}: {kokkos} vs {numba}");
+            for baseline in [HostBaseline::NaiveModel, HostBaseline::MeasuredTuned] {
+                let r = efficiency_table_with(precision, &StudyConfig::quick(), baseline);
+                let julia = r.phi(ModelFamily::Julia);
+                let kokkos = r.phi(ModelFamily::Kokkos);
+                let numba = r.phi(ModelFamily::PythonNumba);
+                assert!(julia > kokkos, "{precision}: {julia} vs {kokkos}");
+                assert!(kokkos > numba, "{precision}: {kokkos} vs {numba}");
+            }
         }
     }
 
     #[test]
     fn phi_values_match_table_iii_aggregates() {
-        let d = efficiency_table(Precision::Double, &StudyConfig::quick());
+        let d = naive_table(Precision::Double);
         assert!((d.phi(ModelFamily::Kokkos) - 0.738).abs() < 0.05);
         assert!((d.phi(ModelFamily::Julia) - 0.897).abs() < 0.05);
         assert!((d.phi(ModelFamily::PythonNumba) - 0.348).abs() < 0.05);
@@ -179,11 +253,43 @@ mod tests {
 
     #[test]
     fn pennycook_pp_zeroes_numba() {
-        let d = efficiency_table(Precision::Double, &StudyConfig::quick());
+        let d = naive_table(Precision::Double);
         assert_eq!(d.pennycook(ModelFamily::PythonNumba), 0.0);
         assert!(d.pennycook(ModelFamily::Julia) > 0.8);
         // Harmonic vs arithmetic: Kokkos' A100 outlier drags PP far below
         // Φ_M.
         assert!(d.pennycook(ModelFamily::Kokkos) < d.phi(ModelFamily::Kokkos) - 0.1);
+    }
+
+    #[test]
+    fn measured_baseline_scales_cpu_rows_down() {
+        use perfport_models::vendor_headroom;
+        let naive = naive_table(Precision::Double);
+        let tuned = efficiency_table_with(
+            Precision::Double,
+            &StudyConfig::quick(),
+            HostBaseline::MeasuredTuned,
+        );
+        assert_eq!(tuned.baseline, HostBaseline::MeasuredTuned);
+        for arch in Arch::ALL {
+            let h = vendor_headroom(arch, Precision::Double).value;
+            for family in ModelFamily::ALL {
+                let (Some(en), Some(et)) = (
+                    naive.matrix.get(arch.table_label(), family.label()),
+                    tuned.matrix.get(arch.table_label(), family.label()),
+                ) else {
+                    continue;
+                };
+                // CPU rows drop by exactly the measured headroom; GPU
+                // rows (headroom 1.0) are untouched.
+                assert!(
+                    (et - en / h).abs() < 1e-12,
+                    "{family} on {arch}: naive {en}, tuned {et}, headroom {h}"
+                );
+                if !arch.is_gpu() {
+                    assert!(et < en, "{family} on {arch} must drop");
+                }
+            }
+        }
     }
 }

@@ -31,7 +31,7 @@ pub mod stream;
 pub mod study;
 pub mod tables;
 
-pub use analysis::{efficiency_table, EfficiencyReport};
+pub use analysis::{efficiency_table, efficiency_table_with, EfficiencyReport, HostBaseline};
 pub use experiment::{Experiment, ExperimentResult, RunError, SizePoint};
 pub use report::{render_report, reproduction_report, Anchor};
 pub use runner::run_experiment;

@@ -114,6 +114,9 @@ pub fn render_table3(reports: &[EfficiencyReport]) -> String {
         }
         out.push('\n');
     }
+    if let Some(report) = reports.first() {
+        out.push_str(&format!("\n  note: {}\n", report.baseline.describe()));
+    }
     out
 }
 
@@ -184,5 +187,7 @@ mod tests {
         assert!(text.contains("FP64"));
         // Numba's MI250X gap renders as a dash.
         assert!(text.contains('-'));
+        // The default report carries the measured-baseline footnote.
+        assert!(text.contains("measured tuned kernel"));
     }
 }

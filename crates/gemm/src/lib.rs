@@ -17,6 +17,9 @@
 //!   Julia `jli` column-major, Numba `prange` `ikj`);
 //! * [`parallel`] — the same variants executed on the
 //!   [`perfport_pool::ThreadPool`] work-sharing runtime;
+//! * [`tuned`] — the packed, register-tiled, cache-blocked kernel standing
+//!   in for the vendor BLAS: the measured baseline Table III's host
+//!   efficiencies divide by;
 //! * [`verify`] — numerical verification against an `f64` reference.
 
 pub mod gpu;
@@ -26,6 +29,7 @@ pub mod parallel;
 pub mod portable;
 pub mod scalar;
 pub mod serial;
+pub mod tuned;
 pub mod variants;
 pub mod verify;
 
@@ -36,5 +40,6 @@ pub use parallel::{par_gemm, par_gemm_element_grid};
 pub use portable::{gemm_element, portable_gemm, Backend, BackendStats, GemmAccess};
 pub use scalar::Scalar;
 pub use serial::{gemm_flops, gemm_reference_f64, LoopOrder};
+pub use tuned::{BlockSizes, PackArena, TileShape, TunedParams, TunedStats};
 pub use variants::CpuVariant;
 pub use verify::{max_abs_error, max_rel_error, verify_gemm, Tolerance};

@@ -1,0 +1,770 @@
+//! The measured vendor-BLAS stand-in: a packed, register-tiled,
+//! cache-blocked GEMM.
+//!
+//! The paper's Table III divides each portable model's throughput by a
+//! *vendor* library curve. The naive kernels in [`crate::serial`] and
+//! [`crate::variants`] deliberately stop at loop ordering, so dividing by
+//! them is naive-vs-naive. This module provides the honest denominator:
+//! the standard BLAS decomposition (Goto/BLIS; see also "Flexible
+//! Performant GEMM Kernels on GPUs", arXiv:2009.12263) of `C += A·B`
+//! into
+//!
+//! 1. **Packing** — `Mc×Kc` blocks of `A` and `Kc×Nc` panels of `B` are
+//!    copied once into contiguous, 64-byte-aligned buffers laid out in
+//!    micropanel order, so the inner loop streams unit-stride regardless
+//!    of the source [`Layout`] and never suffers a TLB/conflict miss;
+//! 2. **Register tiling** — an `MR×NR` accumulator tile lives entirely
+//!    in registers across the `Kc` contraction ([`TileShape`]); the
+//!    microkernel is written so LLVM autovectorizes it (const-generic
+//!    tile extents, unit-stride panel reads, no `fma` libcall);
+//! 3. **Cache blocking** — `Kc` sizes the `B` micropanel to half of L1d,
+//!    `Mc×Kc` sizes the `A` block to half of L2, and `Kc×Nc` sizes the
+//!    `B` panel to an L3 share ([`BlockSizes::for_cache`], fed from
+//!    [`CacheInfo`]).
+//!
+//! Parallelisation follows the paper's CPU strategy: macro-row-blocks of
+//! `C` are the work-sharing index space on the existing [`ThreadPool`],
+//! and every worker packs into a thread-local [`PackArena`] that is
+//! reused across calls, so sweep loops do not reallocate per size point.
+//!
+//! The result is generic over [`Scalar`]; `f32`/`f64` get their fast
+//! paths through monomorphisation (the accumulator tile and panel loads
+//! vectorise per element width). Accumulation order per element of `C`
+//! is a fixed function of the `Kc` blocking alone, so serial and
+//! parallel execution are bit-identical.
+
+use crate::matrix::{Layout, Matrix};
+use crate::scalar::Scalar;
+use perfport_pool::{CacheInfo, DisjointSlice, RegionStats, Schedule, ThreadPool};
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Register-tile extents of the microkernel: `MR` rows × `NR` columns of
+/// `C` accumulated in registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileShape {
+    /// Accumulator rows.
+    pub mr: usize,
+    /// Accumulator columns.
+    pub nr: usize,
+}
+
+impl TileShape {
+    /// The shapes the ablation sweeps (every combination the dispatch
+    /// supports).
+    pub const ALL: [TileShape; 4] = [
+        TileShape { mr: 4, nr: 4 },
+        TileShape { mr: 8, nr: 4 },
+        TileShape { mr: 4, nr: 8 },
+        TileShape { mr: 8, nr: 8 },
+    ];
+
+    /// Default tile for an element width: wide elements get the small
+    /// square tile (the accumulator must fit the 16 SIMD registers of a
+    /// baseline x86-64 target), narrow elements can afford a wider tile.
+    pub fn default_for(elem_bytes: usize) -> TileShape {
+        if elem_bytes >= 8 {
+            TileShape { mr: 4, nr: 4 }
+        } else {
+            TileShape { mr: 4, nr: 8 }
+        }
+    }
+
+    /// `"4x8"`-style identifier used in ablation tables.
+    pub fn name(&self) -> String {
+        format!("{}x{}", self.mr, self.nr)
+    }
+}
+
+impl fmt::Display for TileShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.mr, self.nr)
+    }
+}
+
+/// Cache-blocking extents: the loop structure is
+/// `jc (Nc) → p (Kc) → ic (Mc) → jr (NR) → ir (MR)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSizes {
+    /// Rows of `A` packed per L2-resident block.
+    pub mc: usize,
+    /// Contraction depth per packed panel (L1-resident `B` micropanel).
+    pub kc: usize,
+    /// Columns of `B` packed per L3-resident panel.
+    pub nc: usize,
+}
+
+impl BlockSizes {
+    /// Sizes the blocks from cache capacities for `elem_bytes`-wide
+    /// elements and `tile`:
+    ///
+    /// * `kc` so the `Kc×NR` `B` micropanel fills about half of L1d,
+    /// * `mc` so the `Mc×Kc` packed `A` block fills about half of L2,
+    /// * `nc` so the `Kc×Nc` packed `B` panel fills an eighth of the
+    ///   shared L3 (its nominal per-thread share on a server core).
+    pub fn for_cache(cache: CacheInfo, tile: TileShape, elem_bytes: usize) -> Self {
+        let kc = (cache.l1d_bytes / 2 / (tile.nr * elem_bytes)).clamp(64, 512) & !3;
+        let mc_raw = (cache.l2_bytes / 2 / (kc * elem_bytes)).clamp(tile.mr, 1024);
+        let mc = mc_raw / tile.mr * tile.mr;
+        let nc_raw = (cache.l3_bytes / 8 / (kc * elem_bytes)).clamp(tile.nr, 4096);
+        let nc = nc_raw / tile.nr * tile.nr;
+        BlockSizes { mc, kc, nc }
+    }
+}
+
+/// A full tuned-kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedParams {
+    /// Microkernel register tile.
+    pub tile: TileShape,
+    /// Cache-blocking extents derived from the cache description.
+    pub blocks: BlockSizes,
+}
+
+impl TunedParams {
+    /// Parameters for `T` on caches `cache` with the default tile.
+    pub fn for_cache<T: Scalar>(cache: CacheInfo) -> Self {
+        Self::with_tile(cache, TileShape::default_for(T::BYTES), T::BYTES)
+    }
+
+    /// Parameters for an explicit tile shape (ablation entry point).
+    pub fn with_tile(cache: CacheInfo, tile: TileShape, elem_bytes: usize) -> Self {
+        TunedParams {
+            tile,
+            blocks: BlockSizes::for_cache(cache, tile, elem_bytes),
+        }
+    }
+
+    /// Parameters for `T` on the build host's detected caches.
+    pub fn host<T: Scalar>() -> Self {
+        Self::for_cache::<T>(CacheInfo::host())
+    }
+}
+
+// ------------------------------------------------------------ arena --
+
+/// Alignment of packing buffers: one x86 cache line / typical maximal
+/// SIMD register width.
+const PACK_ALIGN: usize = 64;
+
+/// A 64-byte-aligned, grow-only buffer of scalars.
+///
+/// Capacity only ever grows, so a sweep loop reusing one buffer across
+/// size points allocates O(log sizes) times, not once per GEMM. Freshly
+/// grown memory is zero-initialised (scalars are valid all-zeroes), and
+/// the packing routines overwrite every element they later read.
+struct AlignedBuf<T> {
+    ptr: *mut T,
+    cap: usize,
+}
+
+// SAFETY: the buffer exclusively owns its allocation; scalars are
+// plain-old-data, so moving the handle across threads is fine.
+unsafe impl<T: Send> Send for AlignedBuf<T> {}
+
+impl<T: Scalar> AlignedBuf<T> {
+    fn new() -> Self {
+        AlignedBuf {
+            ptr: std::ptr::null_mut(),
+            cap: 0,
+        }
+    }
+
+    fn layout(cap: usize) -> std::alloc::Layout {
+        std::alloc::Layout::from_size_align(cap * std::mem::size_of::<T>(), PACK_ALIGN)
+            .expect("packing buffer layout")
+    }
+
+    /// Grows capacity to at least `len` and returns the first `len`
+    /// elements as a mutable slice.
+    fn slice_for(&mut self, len: usize) -> &mut [T] {
+        if len > self.cap {
+            let new_cap = len.next_power_of_two();
+            // SAFETY: layout has non-zero size (len > cap >= 0 and
+            // scalars are non-zero-sized); old pointer/capacity came
+            // from the same allocator.
+            unsafe {
+                if self.cap > 0 {
+                    std::alloc::dealloc(self.ptr as *mut u8, Self::layout(self.cap));
+                }
+                let raw = std::alloc::alloc_zeroed(Self::layout(new_cap));
+                if raw.is_null() {
+                    std::alloc::handle_alloc_error(Self::layout(new_cap));
+                }
+                self.ptr = raw as *mut T;
+            }
+            self.cap = new_cap;
+        }
+        if len == 0 {
+            return &mut [];
+        }
+        // SAFETY: `ptr` covers `cap >= len` zero-initialised (hence
+        // valid) scalars and is exclusively owned.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, len) }
+    }
+}
+
+impl<T> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.cap > 0 {
+            // SAFETY: allocated in `slice_for` with this exact layout.
+            unsafe {
+                let layout = std::alloc::Layout::from_size_align_unchecked(
+                    self.cap * std::mem::size_of::<T>(),
+                    PACK_ALIGN,
+                );
+                std::alloc::dealloc(self.ptr as *mut u8, layout);
+            }
+        }
+    }
+}
+
+/// Reusable packing buffers for one worker thread.
+///
+/// Holding one of these across a sweep (or using the implicit
+/// thread-local arena via [`gemm`]/the `Vendor` variant) means the hot
+/// loop never calls the allocator after warm-up.
+pub struct PackArena<T> {
+    a: AlignedBuf<T>,
+    b: AlignedBuf<T>,
+}
+
+impl<T: Scalar> PackArena<T> {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        PackArena {
+            a: AlignedBuf::new(),
+            b: AlignedBuf::new(),
+        }
+    }
+}
+
+impl<T: Scalar> Default for PackArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// Per-thread arenas keyed by scalar type, reused across every tuned
+    /// GEMM this thread ever runs (pool workers are persistent, so a
+    /// size sweep packs into the same two buffers throughout).
+    static THREAD_ARENAS: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with this thread's reusable arena for `T`.
+pub fn with_thread_arena<T: Scalar, R>(f: impl FnOnce(&mut PackArena<T>) -> R) -> R {
+    THREAD_ARENAS.with(|map| {
+        let mut map = map.borrow_mut();
+        let entry = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(PackArena::<T>::new()));
+        f(entry
+            .downcast_mut::<PackArena<T>>()
+            .expect("arena type keyed by TypeId"))
+    })
+}
+
+// ---------------------------------------------------------- counters --
+
+/// Instrumentation of one tuned-GEMM invocation, exported through
+/// `perfport-trace` by the public entry points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TunedStats {
+    /// Bytes copied into packed `A` blocks.
+    pub pack_a_bytes: u64,
+    /// Bytes copied into packed `B` panels.
+    pub pack_b_bytes: u64,
+    /// Microkernel invocations (full `MR×NR` tiles, edges included).
+    pub microkernel_calls: u64,
+}
+
+impl TunedStats {
+    fn emit(&self, tile: TileShape) {
+        if perfport_trace::enabled() {
+            perfport_trace::counter("gemm", "tuned_pack_a_bytes", self.pack_a_bytes as f64);
+            perfport_trace::counter("gemm", "tuned_pack_b_bytes", self.pack_b_bytes as f64);
+            perfport_trace::counter(
+                "gemm",
+                "tuned_microkernel_calls",
+                self.microkernel_calls as f64,
+            );
+            perfport_trace::instant(
+                "gemm",
+                "tuned_tile",
+                vec![
+                    ("mr".to_string(), (tile.mr as u64).into()),
+                    ("nr".to_string(), (tile.nr as u64).into()),
+                ],
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------- packing --
+
+/// Row/column strides of a matrix's storage under its layout.
+#[inline]
+fn strides<T: Scalar>(m: &Matrix<T>) -> (usize, usize) {
+    match m.layout() {
+        Layout::RowMajor => (m.cols(), 1),
+        Layout::ColMajor => (1, m.rows()),
+    }
+}
+
+/// Packs the `A` block `rows i0..i0+mb × k p0..p0+kb` into `MR`-row
+/// micropanels: micropanel `ir` stores element `(i0 + ir*MR + r, p0 + p)`
+/// at `ir*kb*MR + p*MR + r`, zero-padding rows past the block edge so
+/// the microkernel never needs a row bound check.
+fn pack_a<T: Scalar>(
+    a: &Matrix<T>,
+    i0: usize,
+    mb: usize,
+    p0: usize,
+    kb: usize,
+    mr: usize,
+    buf: &mut AlignedBuf<T>,
+) -> u64 {
+    let panels = mb.div_ceil(mr);
+    let dst = buf.slice_for(panels * kb * mr);
+    let (rs, cs) = strides(a);
+    let ad = a.as_slice();
+    let mut off = 0;
+    for ir in 0..panels {
+        let base_row = i0 + ir * mr;
+        let live = mr.min(i0 + mb - base_row);
+        for p in 0..kb {
+            let col_off = (p0 + p) * cs;
+            for r in 0..live {
+                dst[off + r] = ad[(base_row + r) * rs + col_off];
+            }
+            for r in live..mr {
+                dst[off + r] = T::zero();
+            }
+            off += mr;
+        }
+    }
+    (panels * kb * mr * std::mem::size_of::<T>()) as u64
+}
+
+/// Packs the `B` panel `k p0..p0+kb × cols j0..j0+nb` into `NR`-column
+/// micropanels: micropanel `jr` stores element `(p0 + p, j0 + jr*NR + c)`
+/// at `jr*kb*NR + p*NR + c`, zero-padded past the panel edge.
+fn pack_b<T: Scalar>(
+    b: &Matrix<T>,
+    p0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+    nr: usize,
+    buf: &mut AlignedBuf<T>,
+) -> u64 {
+    let panels = nb.div_ceil(nr);
+    let dst = buf.slice_for(panels * kb * nr);
+    let (rs, cs) = strides(b);
+    let bd = b.as_slice();
+    let mut off = 0;
+    for jr in 0..panels {
+        let base_col = j0 + jr * nr;
+        let live = nr.min(j0 + nb - base_col);
+        for p in 0..kb {
+            let row_off = (p0 + p) * rs;
+            for c in 0..live {
+                dst[off + c] = bd[row_off + (base_col + c) * cs];
+            }
+            for c in live..nr {
+                dst[off + c] = T::zero();
+            }
+            off += nr;
+        }
+    }
+    (panels * kb * nr * std::mem::size_of::<T>()) as u64
+}
+
+// -------------------------------------------------------- microkernel --
+
+/// The register-tiled microkernel: `MR×NR` accumulators over a `kb`-deep
+/// contraction of packed micropanels.
+///
+/// `ap` holds `kb` groups of `MR` consecutive `A` values, `bp` holds
+/// `kb` groups of `NR` consecutive `B` values — both unit stride, so
+/// with `MR`/`NR` known at compile time LLVM unrolls the tile fully and
+/// keeps `acc` in vector registers. Products are accumulated with
+/// separate multiply and add (not [`Scalar::mul_add`]) because on
+/// baseline targets without an FMA instruction `mul_add` lowers to a
+/// libm call that defeats vectorisation.
+#[inline(always)]
+fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
+    kb: usize,
+    ap: &[T],
+    bp: &[T],
+) -> [[T; NR]; MR] {
+    debug_assert!(ap.len() >= kb * MR && bp.len() >= kb * NR);
+    let mut acc = [[T::zero(); NR]; MR];
+    for p in 0..kb {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let av = arow[r];
+            for c in 0..NR {
+                acc[r][c] += av * brow[c];
+            }
+        }
+    }
+    acc
+}
+
+// ------------------------------------------------------------- driver --
+
+/// The blocked loop nest over one contiguous row range of `C`.
+#[allow(clippy::too_many_arguments)]
+fn run_blocked<T: Scalar, const MR: usize, const NR: usize>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &DisjointSlice<'_, T>,
+    c_shape: (usize, usize),
+    c_layout: Layout,
+    rows: Range<usize>,
+    blocks: &BlockSizes,
+    arena: &mut PackArena<T>,
+) -> TunedStats {
+    let (m, n) = c_shape;
+    let k = a.cols();
+    let BlockSizes { mc, kc, nc } = *blocks;
+    let mut stats = TunedStats::default();
+
+    for jc in (0..n).step_by(nc) {
+        let nb = nc.min(n - jc);
+        for p0 in (0..k).step_by(kc) {
+            let kb = kc.min(k - p0);
+            stats.pack_b_bytes += pack_b(b, p0, kb, jc, nb, NR, &mut arena.b);
+            for i0 in (rows.start..rows.end).step_by(mc) {
+                let mb = mc.min(rows.end - i0);
+                stats.pack_a_bytes += pack_a(a, i0, mb, p0, kb, MR, &mut arena.a);
+                // SAFETY below: every row index written is inside
+                // `rows`, which this call owns exclusively per the
+                // `DisjointSlice` contract.
+                let ap_all = arena.a.slice_for(mb.div_ceil(MR) * kb * MR);
+                let bp_all = arena.b.slice_for(nb.div_ceil(NR) * kb * NR);
+                for jr in 0..nb.div_ceil(NR) {
+                    let j_base = jc + jr * NR;
+                    let jlim = NR.min(jc + nb - j_base);
+                    let bp = &bp_all[jr * kb * NR..(jr + 1) * kb * NR];
+                    for ir in 0..mb.div_ceil(MR) {
+                        let i_base = i0 + ir * MR;
+                        let ilim = MR.min(i0 + mb - i_base);
+                        let ap = &ap_all[ir * kb * MR..(ir + 1) * kb * MR];
+                        let acc = microkernel::<T, MR, NR>(kb, ap, bp);
+                        stats.microkernel_calls += 1;
+                        match c_layout {
+                            Layout::RowMajor => {
+                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
+                                    // SAFETY: row ownership (see above).
+                                    let crow = unsafe { c.row(i_base + r, n) };
+                                    for (cj, &v) in
+                                        crow[j_base..j_base + jlim].iter_mut().zip(acc_row)
+                                    {
+                                        *cj += v;
+                                    }
+                                }
+                            }
+                            Layout::ColMajor => {
+                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
+                                    for (cix, &v) in acc_row.iter().enumerate().take(jlim) {
+                                        let idx = c_layout.index(m, n, i_base + r, j_base + cix);
+                                        // SAFETY: row ownership (see
+                                        // above); each element belongs
+                                        // to exactly one owned row.
+                                        unsafe {
+                                            *c.at(idx) += v;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn check_shapes<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, m: usize, n: usize) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(a.rows(), m, "A rows must match C rows");
+    assert_eq!(b.cols(), n, "B cols must match C cols");
+}
+
+/// Runs the tuned kernel over one contiguous row range of `C`, packing
+/// through `arena`. This is the chunk-level entry the `Vendor` host
+/// variant and the parallel driver share.
+///
+/// `c` wraps `C`'s backing storage (`m*n` elements, `c_layout` order);
+/// the caller must own `rows` exclusively.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or an unsupported tile shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_rows<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &DisjointSlice<'_, T>,
+    c_shape: (usize, usize),
+    c_layout: Layout,
+    rows: Range<usize>,
+    params: &TunedParams,
+    arena: &mut PackArena<T>,
+) -> TunedStats {
+    let (m, n) = c_shape;
+    check_shapes(a, b, m, n);
+    assert_eq!(c.len(), m * n, "C storage size mismatch");
+    assert!(rows.end <= m, "row range out of bounds");
+    let run = match (params.tile.mr, params.tile.nr) {
+        (4, 4) => run_blocked::<T, 4, 4>,
+        (8, 4) => run_blocked::<T, 8, 4>,
+        (4, 8) => run_blocked::<T, 4, 8>,
+        (8, 8) => run_blocked::<T, 8, 8>,
+        _ => panic!("unsupported tile shape {}", params.tile),
+    };
+    run(a, b, c, c_shape, c_layout, rows, &params.blocks, arena)
+}
+
+/// Serial tuned GEMM: `C += A · B` with explicit parameters and arena.
+pub fn gemm_serial<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    params: &TunedParams,
+    arena: &mut PackArena<T>,
+) -> TunedStats {
+    let shape = (c.rows(), c.cols());
+    let layout = c.layout();
+    let rows = 0..shape.0;
+    let ds = DisjointSlice::new(c.as_mut_slice());
+    let stats = gemm_rows(a, b, &ds, shape, layout, rows, params, arena);
+    stats.emit(params.tile);
+    stats
+}
+
+/// Parallel tuned GEMM on the work-sharing pool: macro-row-blocks of `C`
+/// (`Mc` rows each) are the index space, each worker packs into its
+/// thread-local arena. Returns the pool's region instrumentation; the
+/// packing/microkernel counters go to `perfport-trace`.
+pub fn gemm<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    params: &TunedParams,
+) -> RegionStats {
+    let (m, n) = (c.rows(), c.cols());
+    check_shapes(a, b, m, n);
+    let mut sp = perfport_trace::span("gemm", "tuned");
+    if sp.is_recording() {
+        sp.arg("m", m);
+        sp.arg("n", n);
+        sp.arg("k", a.cols());
+        sp.arg("tile", params.tile.name());
+        sp.arg("mc", params.blocks.mc);
+        sp.arg("kc", params.blocks.kc);
+        sp.arg("nc", params.blocks.nc);
+    }
+    let layout = c.layout();
+    let ds = DisjointSlice::new(c.as_mut_slice());
+    let mc = params.blocks.mc;
+    let n_blocks = m.div_ceil(mc);
+    let pack_a_total = AtomicU64::new(0);
+    let pack_b_total = AtomicU64::new(0);
+    let micro_total = AtomicU64::new(0);
+    let region = pool.parallel_for(n_blocks, Schedule::StaticBlock, |_ctx, chunk| {
+        if chunk.is_empty() {
+            return;
+        }
+        let rows = (chunk.start * mc)..(chunk.end * mc).min(m);
+        let stats =
+            with_thread_arena(|arena| gemm_rows(a, b, &ds, (m, n), layout, rows, params, arena));
+        pack_a_total.fetch_add(stats.pack_a_bytes, Ordering::Relaxed);
+        pack_b_total.fetch_add(stats.pack_b_bytes, Ordering::Relaxed);
+        micro_total.fetch_add(stats.microkernel_calls, Ordering::Relaxed);
+    });
+    let totals = TunedStats {
+        pack_a_bytes: pack_a_total.into_inner(),
+        pack_b_bytes: pack_b_total.into_inner(),
+        microkernel_calls: micro_total.into_inner(),
+    };
+    totals.emit(params.tile);
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::gemm_reference_f64;
+    use perfport_half::F16;
+
+    fn tuned_vs_reference<T: Scalar>(m: usize, k: usize, n: usize, layout: Layout, tol: f64) {
+        let a = Matrix::<T>::random(m, k, layout, 31);
+        let b = Matrix::<T>::random(k, n, layout, 32);
+        let reference = gemm_reference_f64(&a, &b);
+        let params = TunedParams::for_cache::<T>(CacheInfo::DEFAULT);
+        let mut arena = PackArena::new();
+        let mut c = Matrix::<T>::zeros(m, n, layout);
+        gemm_serial(&a, &b, &mut c, &params, &mut arena);
+        let cast: Matrix<f64> = c.cast();
+        let err = cast.max_abs_diff(&reference);
+        assert!(err < tol, "{m}x{k}x{n} {layout}: error {err}");
+    }
+
+    #[test]
+    fn serial_matches_reference_all_precisions() {
+        tuned_vs_reference::<f64>(65, 33, 47, Layout::RowMajor, 1e-12);
+        tuned_vs_reference::<f32>(65, 33, 47, Layout::RowMajor, 1e-3);
+        tuned_vs_reference::<F16>(17, 9, 13, Layout::RowMajor, 0.2);
+        tuned_vs_reference::<f64>(65, 33, 47, Layout::ColMajor, 1e-12);
+    }
+
+    #[test]
+    fn every_tile_shape_matches_reference() {
+        let (m, k, n) = (37, 29, 41);
+        let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 1);
+        let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 2);
+        let reference = gemm_reference_f64(&a, &b);
+        for tile in TileShape::ALL {
+            let params = TunedParams::with_tile(CacheInfo::DEFAULT, tile, 8);
+            let mut arena = PackArena::new();
+            let mut c = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+            gemm_serial(&a, &b, &mut c, &params, &mut arena);
+            assert!(c.max_abs_diff(&reference) < 1e-12, "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Accumulation order per element depends only on the Kc
+        // blocking, never on which worker owns a row block.
+        let pool = ThreadPool::new(5);
+        let (m, k, n) = (83, 57, 43);
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let a = Matrix::<f64>::random(m, k, layout, 3);
+            let b = Matrix::<f64>::random(k, n, layout, 4);
+            let params = TunedParams {
+                tile: TileShape { mr: 4, nr: 4 },
+                // Tiny blocks force many chunks and k-panels.
+                blocks: BlockSizes {
+                    mc: 8,
+                    kc: 12,
+                    nc: 16,
+                },
+            };
+            let mut arena = PackArena::new();
+            let mut c_serial = Matrix::<f64>::zeros(m, n, layout);
+            gemm_serial(&a, &b, &mut c_serial, &params, &mut arena);
+            let mut c_par = Matrix::<f64>::zeros(m, n, layout);
+            gemm(&pool, &a, &b, &mut c_par, &params);
+            assert_eq!(c_serial, c_par, "{layout}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_c() {
+        let a = Matrix::<f64>::ones(5, 5, Layout::RowMajor);
+        let b = Matrix::<f64>::ones(5, 5, Layout::RowMajor);
+        let mut c = Matrix::<f64>::from_fn(5, 5, Layout::RowMajor, |_, _| 2.0);
+        let params = TunedParams::for_cache::<f64>(CacheInfo::DEFAULT);
+        gemm_serial(&a, &b, &mut c, &params, &mut PackArena::new());
+        assert!(c.as_slice().iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // 1×1, empty k, empty m/n.
+        tuned_vs_reference::<f64>(1, 1, 1, Layout::RowMajor, 1e-15);
+        let a = Matrix::<f64>::zeros(4, 0, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(0, 3, Layout::RowMajor);
+        let mut c = Matrix::<f64>::from_fn(4, 3, Layout::RowMajor, |_, _| 9.0);
+        let params = TunedParams::for_cache::<f64>(CacheInfo::DEFAULT);
+        gemm_serial(&a, &b, &mut c, &params, &mut PackArena::new());
+        assert!(c.as_slice().iter().all(|&x| x == 9.0), "empty k adds zero");
+        let a = Matrix::<f64>::zeros(0, 5, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(5, 0, Layout::RowMajor);
+        let mut c = Matrix::<f64>::zeros(0, 0, Layout::RowMajor);
+        gemm_serial(&a, &b, &mut c, &params, &mut PackArena::new());
+    }
+
+    #[test]
+    fn block_sizes_respect_caches_and_tiles() {
+        for tile in TileShape::ALL {
+            for bytes in [2usize, 4, 8] {
+                let b = BlockSizes::for_cache(CacheInfo::DEFAULT, tile, bytes);
+                assert!(b.kc >= 64 && b.kc <= 512 && b.kc.is_multiple_of(4));
+                assert_eq!(b.mc % tile.mr, 0);
+                assert_eq!(b.nc % tile.nr, 0);
+                // Kc×NR B micropanel really fits L1d.
+                assert!(b.kc * tile.nr * bytes <= CacheInfo::DEFAULT.l1d_bytes);
+                // Mc×Kc A block really fits L2.
+                assert!(b.mc * b.kc * bytes <= CacheInfo::DEFAULT.l2_bytes);
+            }
+        }
+        // A tiny cache still yields runnable (clamped) blocks.
+        let tiny = CacheInfo {
+            l1d_bytes: 1024,
+            l2_bytes: 4096,
+            l3_bytes: 65536,
+        };
+        let b = BlockSizes::for_cache(tiny, TileShape { mr: 8, nr: 8 }, 8);
+        assert!(b.kc >= 64 && b.mc >= 8 && b.nc >= 8);
+    }
+
+    #[test]
+    fn stats_count_packing_and_microkernels() {
+        let (m, k, n) = (16, 8, 16);
+        let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 5);
+        let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 6);
+        let params = TunedParams {
+            tile: TileShape { mr: 4, nr: 4 },
+            blocks: BlockSizes {
+                mc: 16,
+                kc: 8,
+                nc: 16,
+            },
+        };
+        let mut c = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+        let stats = gemm_serial(&a, &b, &mut c, &params, &mut PackArena::new());
+        // One k-panel, one row block: A packed once (16×8), B once (8×16),
+        // and (16/4)·(16/4) microkernel tiles.
+        assert_eq!(stats.pack_a_bytes, 16 * 8 * 8);
+        assert_eq!(stats.pack_b_bytes, 8 * 16 * 8);
+        assert_eq!(stats.microkernel_calls, 16);
+    }
+
+    #[test]
+    fn default_tiles_per_width() {
+        assert_eq!(TileShape::default_for(8), TileShape { mr: 4, nr: 4 });
+        assert_eq!(TileShape::default_for(4), TileShape { mr: 4, nr: 8 });
+        assert_eq!(TileShape::default_for(2), TileShape { mr: 4, nr: 8 });
+        assert_eq!(TileShape { mr: 4, nr: 8 }.name(), "4x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported tile shape")]
+    fn unsupported_tile_panics() {
+        let a = Matrix::<f64>::zeros(2, 2, Layout::RowMajor);
+        let b = Matrix::<f64>::zeros(2, 2, Layout::RowMajor);
+        let mut c = Matrix::<f64>::zeros(2, 2, Layout::RowMajor);
+        let params = TunedParams {
+            tile: TileShape { mr: 3, nr: 5 },
+            blocks: BlockSizes {
+                mc: 8,
+                kc: 8,
+                nc: 8,
+            },
+        };
+        gemm_serial(&a, &b, &mut c, &params, &mut PackArena::new());
+    }
+}

@@ -4,9 +4,9 @@
 
 use perfport_gemm::{
     gemm_reference_f64, matrix::Layout, par_gemm, serial::gemm_loop_order, serial::LoopOrder,
-    CpuVariant, Matrix,
+    tuned, BlockSizes, CpuVariant, Matrix, PackArena, TileShape, TunedParams,
 };
-use perfport_pool::{Schedule, ThreadPool};
+use perfport_pool::{CacheInfo, Schedule, ThreadPool};
 use proptest::prelude::*;
 
 fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
@@ -108,5 +108,106 @@ proptest! {
         let ab_t = gemm_reference_f64(&a, &b).transposed();
         let bt_at = gemm_reference_f64(&b.transposed(), &a.transposed());
         prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-10);
+    }
+}
+
+/// Shapes for the tuned packed kernel: deliberately not multiples of any
+/// tile or block size, down to 1×1 and the empty inner dimension.
+fn tuned_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..40, 0usize..40, 1usize..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The tuned packed kernel matches the f64 reference for any shape
+    /// (including empty k) and either layout, in both precisions.
+    #[test]
+    fn tuned_matches_reference((m, k, n) in tuned_dims(), seed in 0u64..1000, col in proptest::bool::ANY) {
+        let layout = if col { Layout::ColMajor } else { Layout::RowMajor };
+        let a64 = Matrix::<f64>::random(m, k, layout, seed);
+        let b64 = Matrix::<f64>::random(k, n, layout, seed + 1);
+        let reference = gemm_reference_f64(&a64, &b64);
+
+        let mut c64 = Matrix::<f64>::zeros(m, n, layout);
+        tuned::gemm_serial(
+            &a64, &b64, &mut c64,
+            &TunedParams::for_cache::<f64>(CacheInfo::DEFAULT),
+            &mut PackArena::new(),
+        );
+        prop_assert!(c64.max_abs_diff(&reference) < 1e-12);
+
+        let a32: Matrix<f32> = a64.cast();
+        let b32: Matrix<f32> = b64.cast();
+        let mut c32 = Matrix::<f32>::zeros(m, n, layout);
+        tuned::gemm_serial(
+            &a32, &b32, &mut c32,
+            &TunedParams::for_cache::<f32>(CacheInfo::DEFAULT),
+            &mut PackArena::new(),
+        );
+        let c32_as_64: Matrix<f64> = c32.cast();
+        prop_assert!(c32_as_64.max_abs_diff(&reference) < 1e-3);
+    }
+
+    /// Every supported register-tile shape computes the same product.
+    #[test]
+    fn tuned_tile_shapes_agree((m, k, n) in tuned_dims(), seed in 0u64..1000, col in proptest::bool::ANY) {
+        let layout = if col { Layout::ColMajor } else { Layout::RowMajor };
+        let a = Matrix::<f64>::random(m, k, layout, seed);
+        let b = Matrix::<f64>::random(k, n, layout, seed + 1);
+        let reference = gemm_reference_f64(&a, &b);
+        for tile in TileShape::ALL {
+            let params = TunedParams::with_tile(CacheInfo::DEFAULT, tile, 8);
+            let mut c = Matrix::<f64>::zeros(m, n, layout);
+            tuned::gemm_serial(&a, &b, &mut c, &params, &mut PackArena::new());
+            prop_assert!(c.max_abs_diff(&reference) < 1e-12, "tile {tile}");
+        }
+    }
+
+    /// Parallel tuned execution is bit-identical to serial for any team
+    /// size and (deliberately tiny) blocking, so results never depend on
+    /// which worker owns a row block.
+    #[test]
+    fn tuned_parallel_is_bitwise_serial(
+        (m, k, n) in tuned_dims(),
+        seed in 0u64..1000,
+        threads in 1usize..6,
+        mc in 1usize..5,
+        kc in 1usize..20,
+        col in proptest::bool::ANY,
+    ) {
+        let layout = if col { Layout::ColMajor } else { Layout::RowMajor };
+        let params = TunedParams {
+            tile: TileShape { mr: 4, nr: 4 },
+            blocks: BlockSizes { mc: mc * 4, kc, nc: 16 },
+        };
+        let a = Matrix::<f64>::random(m, k, layout, seed);
+        let b = Matrix::<f64>::random(k, n, layout, seed + 1);
+        let mut serial = Matrix::<f64>::zeros(m, n, layout);
+        tuned::gemm_serial(&a, &b, &mut serial, &params, &mut PackArena::new());
+        let pool = ThreadPool::new(threads);
+        let mut par = Matrix::<f64>::zeros(m, n, layout);
+        tuned::gemm(&pool, &a, &b, &mut par, &params);
+        prop_assert_eq!(serial, par);
+    }
+
+    /// The vendor variant rides the generic parallel driver and equals its
+    /// own serial run bit-for-bit, like every other variant.
+    #[test]
+    fn vendor_variant_parallel_equals_serial(
+        (m, k, n) in tuned_dims(),
+        seed in 0u64..1000,
+        threads in 1usize..6,
+    ) {
+        let v = CpuVariant::Vendor;
+        let layout = v.layout();
+        let a = Matrix::<f64>::random(m, k, layout, seed);
+        let b = Matrix::<f64>::random(k, n, layout, seed + 1);
+        let mut serial = Matrix::<f64>::zeros(m, n, layout);
+        v.run_serial(&a, &b, &mut serial);
+        let pool = ThreadPool::new(threads);
+        let mut par = Matrix::<f64>::zeros(m, n, layout);
+        par_gemm(&pool, v, &a, &b, &mut par, Schedule::StaticBlock);
+        prop_assert_eq!(serial, par);
     }
 }

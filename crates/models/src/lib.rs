@@ -17,13 +17,18 @@
 //!   generated inner loop relative to the vendor toolchain, with per-entry
 //!   provenance; values are calibrated against the paper's own Table III
 //!   measurements, which is the honest way to reproduce a measurement
-//!   study without the authors' hardware ([`calibration`]).
+//!   study without the authors' hardware ([`calibration`]),
+//! * a **measured vendor headroom** — how far the tuned packed kernel in
+//!   `perfport-gemm::tuned` pulls ahead of the fastest naive kernel,
+//!   measured on the build host and committed as the CPU denominator
+//!   correction for Table III ([`vendor`]).
 
 pub mod arch;
 pub mod calibration;
 pub mod profiles;
 pub mod progmodel;
 pub mod support;
+pub mod vendor;
 pub mod versions;
 
 pub use arch::Arch;
@@ -31,4 +36,5 @@ pub use calibration::{codegen_efficiency, size_penalty, Calibration};
 pub use profiles::{cpu_profile, gpu_profile, CpuModelProfile, GpuModelProfile};
 pub use progmodel::{ModelFamily, ProgModel};
 pub use support::{support, Support};
+pub use vendor::vendor_headroom;
 pub use versions::{toolchain, Toolchain};

@@ -1,0 +1,93 @@
+//! The measured vendor-baseline headroom on CPU targets.
+//!
+//! The paper divides every portable model's throughput by the *vendor
+//! library* (Eq. 2). The modelled vendor reference in this workspace runs
+//! the same naive loop nest as the portable models, only through the
+//! vendor toolchain — which makes the host-side denominator naive-vs-naive
+//! and flatters every CPU efficiency. A real vendor BLAS packs, blocks for
+//! the cache hierarchy, and register-tiles; `perfport-gemm::tuned`
+//! implements exactly that decomposition, and the bench harness
+//! (`cargo run -p perfport-bench --bin host_gemm`) measures how far it
+//! pulls ahead of the fastest naive kernel on the build host.
+//!
+//! The ratios below are that measurement, committed as data (the raw
+//! snapshot lives in `BENCH_gemm.json` at the repo root). They are
+//! *headroom multipliers on the vendor denominator*: dividing a modelled
+//! CPU efficiency by the headroom yields the efficiency against the
+//! measured tuned baseline. Keeping them as committed constants — rather
+//! than re-measuring inside the study pipeline — keeps Table III
+//! deterministic and its golden files machine-independent, while the
+//! committed values themselves remain honest wall-clock measurements.
+//!
+//! GPU targets are unaffected: their vendor references (CUDA, HIP) already
+//! stand for the tuned library path in the machine model.
+
+use crate::arch::Arch;
+use crate::calibration::Calibration;
+use perfport_machines::Precision;
+
+/// Measured tuned-over-best-naive ratio at n=1024 FP64 on the build host
+/// (see `BENCH_gemm.json`).
+const HEADROOM_F64: f64 = 1.69;
+/// Measured tuned-over-best-naive ratio at n=1024 FP32 on the build host.
+const HEADROOM_F32: f64 = 1.79;
+
+/// Multiplier the measured tuned kernel holds over the fastest naive
+/// portable kernel on a CPU target (1.0 on GPUs, whose vendor reference
+/// already models the tuned library).
+pub fn vendor_headroom(arch: Arch, precision: Precision) -> Calibration {
+    if arch.is_gpu() {
+        return Calibration {
+            value: 1.0,
+            provenance: "GPU vendor reference already models the tuned library path",
+        };
+    }
+    match precision {
+        Precision::Double => Calibration {
+            value: HEADROOM_F64,
+            provenance: "measured on the build host: tuned packed kernel vs fastest naive \
+                         portable model, n=1024 FP64 (host_gemm, BENCH_gemm.json)",
+        },
+        Precision::Single => Calibration {
+            value: HEADROOM_F32,
+            provenance: "measured on the build host: tuned packed kernel vs fastest naive \
+                         portable model, n=1024 FP32 (host_gemm, BENCH_gemm.json)",
+        },
+        Precision::Half => Calibration {
+            value: HEADROOM_F64,
+            provenance: "software-F16 headroom not separately measured; assumed at the \
+                         measured FP64 ratio (packing/blocking gains are precision-agnostic)",
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_targets_have_no_headroom() {
+        for arch in [Arch::Mi250x, Arch::A100] {
+            for p in Precision::ALL {
+                assert_eq!(vendor_headroom(arch, p).value, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_headroom_is_measured_and_sane() {
+        for arch in [Arch::Epyc7A53, Arch::AmpereAltra] {
+            for p in Precision::ALL {
+                let h = vendor_headroom(arch, p);
+                // A packed cache-blocked kernel beats a naive loop nest,
+                // but not by an implausible factor on a server core.
+                assert!(h.value > 1.0 && h.value < 10.0, "{arch} {p}");
+                assert!(h.provenance.contains("measured") || h.provenance.contains("FP64"));
+            }
+        }
+        assert_eq!(
+            vendor_headroom(Arch::Epyc7A53, Precision::Double).value,
+            HEADROOM_F64
+        );
+    }
+}

@@ -24,8 +24,11 @@
 //! * [`SenseBarrier`] — a reusable sense-reversing barrier.
 //! * [`DisjointSlice`] — safe disjoint mutable access for row-parallel
 //!   kernels.
+//! * [`CachePadded`] / [`CacheInfo`] — false-sharing padding for hot
+//!   shared atomics, and cache capacities for cache-aware blocking.
 
 mod barrier;
+mod pad;
 mod pool;
 mod reduce;
 mod schedule;
@@ -34,8 +37,9 @@ mod stats;
 mod topology;
 
 pub use barrier::SenseBarrier;
+pub use pad::CachePadded;
 pub use pool::{ForContext, ThreadPool};
 pub use schedule::{Chunk, Schedule, StaticChunks};
 pub use slice::DisjointSlice;
 pub use stats::RegionStats;
-pub use topology::{CpuTopology, PinPolicy, Placement};
+pub use topology::{CacheInfo, CpuTopology, PinPolicy, Placement};

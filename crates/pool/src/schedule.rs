@@ -6,6 +6,7 @@
 //! `@threads :static` (block static) and Numba `prange` (static chunks over
 //! its workqueue backend) boil down to.
 
+use crate::pad::CachePadded;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -161,16 +162,22 @@ impl Iterator for StaticChunks {
 
 /// Shared state for dynamic and guided schedules: a single atomic cursor
 /// over `0..n`, grabbed in chunks.
+///
+/// The cursor atomic is padded to its own cache-line pair: every worker
+/// RMWs it on every grab, and without padding it shares a line with
+/// whatever neighbours it on the coordinator's stack (the per-thread
+/// stats slots), turning each grab into cross-core invalidation traffic
+/// on unrelated data.
 #[derive(Debug)]
 pub(crate) struct DynamicCursor {
-    next: AtomicUsize,
+    next: CachePadded<AtomicUsize>,
     n: usize,
 }
 
 impl DynamicCursor {
     pub(crate) fn new(n: usize) -> Self {
         DynamicCursor {
-            next: AtomicUsize::new(0),
+            next: CachePadded::new(AtomicUsize::new(0)),
             n,
         }
     }

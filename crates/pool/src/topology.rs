@@ -8,6 +8,72 @@
 //! cleanly captures the Numba gap (no pinning API at all).
 
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Per-core / shared cache capacities, used to size the packing blocks of
+/// cache-aware kernels (`perfport-gemm::tuned`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheInfo {
+    /// L1 data cache per core, bytes.
+    pub l1d_bytes: usize,
+    /// Private (or core-cluster) L2 per core, bytes.
+    pub l2_bytes: usize,
+    /// Shared last-level cache, bytes.
+    pub l3_bytes: usize,
+}
+
+impl CacheInfo {
+    /// Conservative defaults (32 KiB L1d / 512 KiB L2 / 16 MiB LLC) that
+    /// hold within a factor of two on every server core the paper uses
+    /// (Zen 3, Neoverse N1) and on common build hosts.
+    pub const DEFAULT: CacheInfo = CacheInfo {
+        l1d_bytes: 32 * 1024,
+        l2_bytes: 512 * 1024,
+        l3_bytes: 16 * 1024 * 1024,
+    };
+
+    /// The build host's caches, read once from sysfs on Linux; falls back
+    /// to [`CacheInfo::DEFAULT`] where the information is unavailable.
+    pub fn host() -> CacheInfo {
+        static HOST: OnceLock<CacheInfo> = OnceLock::new();
+        *HOST.get_or_init(detect_host_caches)
+    }
+}
+
+/// Parses a sysfs cache size string like `"32K"` or `"16384K"`.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' => (&s[..s.len() - 1], 1024),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits.parse::<usize>().ok().map(|v| v * mult)
+}
+
+fn detect_host_caches() -> CacheInfo {
+    let mut info = CacheInfo::DEFAULT;
+    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+    for idx in 0..6 {
+        let dir = base.join(format!("index{idx}"));
+        let read = |name: &str| std::fs::read_to_string(dir.join(name)).ok();
+        let (Some(level), Some(ty), Some(size)) = (read("level"), read("type"), read("size"))
+        else {
+            continue;
+        };
+        let Some(bytes) = parse_cache_size(&size) else {
+            continue;
+        };
+        let ty = ty.trim();
+        match (level.trim(), ty) {
+            ("1", "Data") | ("1", "Unified") => info.l1d_bytes = bytes,
+            ("2", "Data") | ("2", "Unified") => info.l2_bytes = bytes,
+            ("3", "Data") | ("3", "Unified") => info.l3_bytes = bytes,
+            _ => {}
+        }
+    }
+    info
+}
 
 /// Physical CPU topology relevant to thread placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,22 +86,37 @@ pub struct CpuTopology {
     /// Hardware threads per core (SMT); the paper's runs use one thread per
     /// physical core.
     pub smt: usize,
+    /// Cache capacities, for cache-aware blocking.
+    pub cache: CacheInfo,
 }
 
 impl CpuTopology {
-    /// Builds a topology; all fields must be non-zero.
+    /// Builds a topology with [`CacheInfo::DEFAULT`] caches; the count
+    /// fields must be non-zero.
     pub fn new(numa_domains: usize, cores_per_domain: usize, smt: usize) -> Self {
         assert!(numa_domains > 0 && cores_per_domain > 0 && smt > 0);
         CpuTopology {
             numa_domains,
             cores_per_domain,
             smt,
+            cache: CacheInfo::DEFAULT,
         }
     }
 
     /// A flat single-domain topology with `cores` cores and no SMT.
     pub fn flat(cores: usize) -> Self {
         CpuTopology::new(1, cores, 1)
+    }
+
+    /// A flat topology carrying the build host's detected caches.
+    pub fn host(cores: usize) -> Self {
+        CpuTopology::flat(cores).with_cache(CacheInfo::host())
+    }
+
+    /// Replaces the cache description.
+    pub fn with_cache(mut self, cache: CacheInfo) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Total physical cores.
@@ -154,6 +235,34 @@ mod tests {
         assert_eq!(t.numa_domains, 1);
         assert_eq!(t.total_cores(), 80);
         assert_eq!(t.domain_of(79), 0);
+        assert_eq!(t.cache, CacheInfo::DEFAULT);
+    }
+
+    #[test]
+    fn cache_info_override_and_host_detection() {
+        let cache = CacheInfo {
+            l1d_bytes: 64 * 1024,
+            l2_bytes: 1024 * 1024,
+            l3_bytes: 32 * 1024 * 1024,
+        };
+        let t = CpuTopology::flat(8).with_cache(cache);
+        assert_eq!(t.cache, cache);
+        // Host detection must always produce sane non-zero capacities in
+        // ascending level order (either sysfs values or the defaults).
+        let host = CacheInfo::host();
+        assert!(host.l1d_bytes >= 8 * 1024);
+        assert!(host.l2_bytes >= host.l1d_bytes);
+        assert!(host.l3_bytes >= host.l2_bytes);
+        assert_eq!(CpuTopology::host(4).cache, host);
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("32K\n"), Some(32 * 1024));
+        assert_eq!(parse_cache_size("16384K"), Some(16384 * 1024));
+        assert_eq!(parse_cache_size("8M"), Some(8 * 1024 * 1024));
+        assert_eq!(parse_cache_size("512"), Some(512));
+        assert_eq!(parse_cache_size("weird"), None);
     }
 
     #[test]

@@ -43,6 +43,14 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
+/// Pins the *default* table, which since the measured-vendor-baseline
+/// change divides CPU rows by the committed tuned-kernel headroom
+/// (`perfport-models::vendor`, measured via `host_gemm` into
+/// `BENCH_gemm.json`) and carries a footnote naming the baseline. The
+/// CPU efficiencies here are therefore deliberately *lower* than the
+/// paper's printed Table III; the paper-facing cross-checks run against
+/// `HostBaseline::NaiveModel` in `crates/core/src/analysis.rs` and the
+/// anchor report.
 #[test]
 fn table3_matches_golden() {
     let cfg = StudyConfig::quick();
