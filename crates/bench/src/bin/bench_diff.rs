@@ -1,0 +1,123 @@
+//! Regression sentinel: compares two `BENCH_gemm.json` snapshots
+//! point-by-point with noise-aware thresholds and exits non-zero when a
+//! cell regressed beyond its tolerance.
+//!
+//! The tolerance for each `(n, precision, variant)` cell is derived from
+//! the rep spreads *committed in the snapshots themselves* (see
+//! `perfport_bench::diff`), so a naturally noisy cell does not flap CI
+//! while a rock-steady one stays tight. Typical use:
+//!
+//! ```text
+//! cargo run -p perfport-bench --bin host_gemm -- --quick   # writes BENCH_gemm.json
+//! cargo run -p perfport-bench --bin bench_diff -- baseline.json BENCH_gemm.json
+//! ```
+//!
+//! `--warn-only` reports regressions but exits 0 — the mode CI uses on
+//! shared runners, where machine noise makes a hard gate dishonest.
+
+use perfport_bench::diff::{diff, parse_snapshot, DiffConfig, Snapshot, Verdict};
+
+const USAGE: &str = "usage: bench_diff <baseline.json> <candidate.json> \
+                     [--warn-only] [--floor <rel>] [--spread-factor <x>]";
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail_usage(&format!("cannot read {path}: {e}")));
+    parse_snapshot(&text).unwrap_or_else(|e| fail_usage(&format!("{path}: {e}")))
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut warn_only = false;
+    let mut cfg = DiffConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--floor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => cfg.floor = v,
+                _ => fail_usage("--floor requires a non-negative number"),
+            },
+            "--spread-factor" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v >= 0.0 => cfg.spread_factor = v,
+                _ => fail_usage("--spread-factor requires a non-negative number"),
+            },
+            other if !other.starts_with('-') => paths.push(a),
+            other => fail_usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        fail_usage("expected exactly two snapshot paths");
+    };
+    let base = load(base_path);
+    let cand = load(cand_path);
+    println!(
+        "baseline:  {base_path} ({}, {} points)",
+        base.schema,
+        base.points.len()
+    );
+    println!(
+        "candidate: {cand_path} ({}, {} points)",
+        cand.schema,
+        cand.points.len()
+    );
+
+    let entries = diff(&base, &cand, &cfg);
+    if entries.is_empty() {
+        // Nothing comparable is a configuration error, not a pass.
+        eprintln!("error: the snapshots share no (n, precision, variant) cells");
+        std::process::exit(2);
+    }
+
+    println!(
+        "\n  {:>6} {:>5} {:>10} {:>10} {:>10} {:>8} {:>8}  verdict",
+        "n", "prec", "variant", "base", "cand", "change", "tol"
+    );
+    let mut regressed = 0usize;
+    let mut improved = 0usize;
+    for e in &entries {
+        let mark = match e.verdict {
+            Verdict::Regressed => {
+                regressed += 1;
+                "REGRESSED"
+            }
+            Verdict::Improved => {
+                improved += 1;
+                "improved"
+            }
+            Verdict::Ok => "ok",
+        };
+        println!(
+            "  {:>6} {:>5} {:>10} {:>10.3} {:>10.3} {:>+7.1}% {:>7.1}%  {mark}",
+            e.n,
+            e.precision,
+            e.variant,
+            e.base,
+            e.cand,
+            e.rel_change * 100.0,
+            e.threshold * 100.0
+        );
+    }
+    println!(
+        "\n{} cells compared: {regressed} regressed, {improved} improved, {} within noise",
+        entries.len(),
+        entries.len() - regressed - improved
+    );
+    if regressed > 0 {
+        if warn_only {
+            println!("warn-only mode: not failing the run");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

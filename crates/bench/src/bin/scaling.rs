@@ -2,12 +2,16 @@
 //! on both CPU architectures (the "scalability" dimension the paper's
 //! introduction motivates).
 
+use perfport_bench::HarnessArgs;
 use perfport_core::{run_scaling, ScalingStudy};
 use perfport_machines::Precision;
 use perfport_models::{Arch, ProgModel};
 
 fn main() {
-    let n = 4096;
+    let args = HarnessArgs::from_env();
+    args.start_profiling();
+    let trace = args.start_trace();
+    let n = if args.quick { 1024 } else { 4096 };
     for arch in [Arch::Epyc7A53, Arch::AmpereAltra] {
         println!("== thread scaling on {arch} (FP64, n={n}) ==");
         let models = ProgModel::candidates(arch);
@@ -47,10 +51,23 @@ fn main() {
             print!("  {:>15.0}%", r.parallel_efficiency(last).unwrap() * 100.0);
         }
         println!("\n");
+        if args.csv {
+            println!("-- {arch} csv --");
+            println!("threads,model,gflops");
+            for (m, r) in &results {
+                for p in &r.points {
+                    println!("{},{},{:.2}", p.threads, m.name(), p.gflops);
+                }
+            }
+            println!();
+        }
     }
     println!(
         "The streaming GEMM saturates shared cache/memory bandwidth well before the\n\
          core count, so full-node parallel efficiency sits far below 100% for every\n\
          model — and lower still for Numba on Crusher, which cannot pin threads."
     );
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }

@@ -3,10 +3,14 @@
 //! (model, system) cell uses, as encoded in the machine and model
 //! registries.
 
+use perfport_bench::HarnessArgs;
 use perfport_machines::Precision;
 use perfport_models::{cpu_profile, gpu_profile, support, Arch, ProgModel};
 
 fn main() {
+    let args = HarnessArgs::from_env();
+    args.start_profiling();
+    let trace = args.start_trace();
     println!("Table I: CPU experiment specs");
     println!(
         "  {:<18} {:>22} {:>22}",
@@ -102,5 +106,25 @@ fn main() {
                 .collect();
             println!("    {:<18} {}", model.name(), cells.join(" / "));
         }
+    }
+    if args.csv {
+        println!("-- support csv --");
+        println!("arch,model,fp64,fp32,fp16");
+        for arch in Arch::ALL {
+            for model in ProgModel::candidates(arch) {
+                let cells: Vec<&str> = Precision::ALL
+                    .iter()
+                    .map(|&p| match support(model, arch, p) {
+                        perfport_models::Support::Supported => "yes",
+                        perfport_models::Support::Partial(_) => "partial",
+                        perfport_models::Support::Unsupported(_) => "no",
+                    })
+                    .collect();
+                println!("{arch},{},{}", model.name(), cells.join(","));
+            }
+        }
+    }
+    if let Some(trace) = trace {
+        trace.finish();
     }
 }

@@ -1,0 +1,340 @@
+//! Point-by-point comparison of two `BENCH_gemm.json` snapshots with
+//! noise-aware thresholds — the regression sentinel behind the
+//! `bench_diff` binary.
+//!
+//! A bench point is only as trustworthy as its repetition spread, so the
+//! tolerance for each `(n, precision, variant)` cell is derived from the
+//! *committed* spreads rather than a blanket percentage: a cell whose
+//! reps scattered ±8% must not fail CI on a 6% dip, while a rock-steady
+//! cell should. Schema `/1` snapshots (no recorded spread) fall back to
+//! the configured floor.
+
+use perfport_trace::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// One `(n, precision)` bench point: GFLOP/s per variant plus the
+/// relative rep spread (half-range over mean) per variant when the
+/// snapshot recorded it (schema `/2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPoint {
+    /// Matrix dimension.
+    pub n: u64,
+    /// `"FP64"` / `"FP32"`.
+    pub precision: String,
+    /// Variant name → measured GFLOP/s.
+    pub gflops: BTreeMap<String, f64>,
+    /// Variant name → relative rep spread (0.04 = ±4%); empty for `/1`.
+    pub spread: BTreeMap<String, f64>,
+}
+
+impl SnapshotPoint {
+    /// The `(n, precision)` identity used to match points across files.
+    pub fn key(&self) -> (u64, String) {
+        (self.n, self.precision.clone())
+    }
+}
+
+/// A parsed bench snapshot (either schema version).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The `schema` string, e.g. `perfport-bench-gemm/2`.
+    pub schema: String,
+    /// Whether the producing run was `--quick`.
+    pub quick: bool,
+    /// All recorded points, in file order.
+    pub points: Vec<SnapshotPoint>,
+}
+
+/// Fields of a `/1` point object that are not variant measurements.
+const V1_META_KEYS: [&str; 4] = ["n", "precision", "best_naive", "vendor_over_naive"];
+
+fn parse_point(obj: &Json) -> Result<SnapshotPoint, String> {
+    let n = obj
+        .get("n")
+        .and_then(Json::as_f64)
+        .ok_or("point missing numeric 'n'")? as u64;
+    let precision = obj
+        .get("precision")
+        .and_then(Json::as_str)
+        .ok_or("point missing 'precision'")?
+        .to_string();
+    let mut gflops = BTreeMap::new();
+    let mut spread = BTreeMap::new();
+    match obj.get("gflops") {
+        // Schema /2: nested objects.
+        Some(Json::Object(map)) => {
+            for (k, v) in map {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("gflops.{k} not a number"))?;
+                gflops.insert(k.clone(), v);
+            }
+            if let Some(Json::Object(map)) = obj.get("spread") {
+                for (k, v) in map {
+                    let v = v
+                        .as_f64()
+                        .ok_or_else(|| format!("spread.{k} not a number"))?;
+                    spread.insert(k.clone(), v);
+                }
+            }
+        }
+        Some(_) => return Err("'gflops' must be an object".to_string()),
+        // Schema /1: variant rates are flat numeric fields on the point.
+        None => {
+            if let Json::Object(map) = obj {
+                for (k, v) in map {
+                    if V1_META_KEYS.contains(&k.as_str()) {
+                        continue;
+                    }
+                    if let Some(v) = v.as_f64() {
+                        gflops.insert(k.clone(), v);
+                    }
+                }
+            }
+        }
+    }
+    if gflops.is_empty() {
+        return Err(format!("point n={n} {precision} has no measurements"));
+    }
+    Ok(SnapshotPoint {
+        n,
+        precision,
+        gflops,
+        spread,
+    })
+}
+
+/// Parses a snapshot in either `perfport-bench-gemm/1` or `/2` form.
+pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing 'schema'")?
+        .to_string();
+    if !schema.starts_with("perfport-bench-gemm/") {
+        return Err(format!("not a bench snapshot: schema '{schema}'"));
+    }
+    let quick = doc.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    let points = doc
+        .get("points")
+        .and_then(Json::as_array)
+        .ok_or("missing 'points' array")?
+        .iter()
+        .map(parse_point)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Snapshot {
+        schema,
+        quick,
+        points,
+    })
+}
+
+/// Threshold policy for [`diff`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// Minimum relative tolerance applied to every cell (default 5%),
+    /// covering run-to-run noise the committed spread cannot see
+    /// (different machine load, frequency scaling).
+    pub floor: f64,
+    /// Multiplier on the summed rep spreads of the two snapshots; the
+    /// effective threshold is `max(floor, factor × (spread_a + spread_b))`.
+    pub spread_factor: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            floor: 0.05,
+            spread_factor: 2.0,
+        }
+    }
+}
+
+/// The verdict for one compared cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the noise threshold either way.
+    Ok,
+    /// Faster than the baseline by more than the threshold.
+    Improved,
+    /// Slower than the baseline by more than the threshold.
+    Regressed,
+}
+
+/// One compared `(n, precision, variant)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Matrix dimension.
+    pub n: u64,
+    /// Precision label.
+    pub precision: String,
+    /// Variant name.
+    pub variant: String,
+    /// Baseline GFLOP/s.
+    pub base: f64,
+    /// Candidate GFLOP/s.
+    pub cand: f64,
+    /// `cand / base - 1`.
+    pub rel_change: f64,
+    /// The noise-aware tolerance applied to this cell.
+    pub threshold: f64,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+/// Compares every `(n, precision, variant)` present in **both**
+/// snapshots (a `--quick` candidate naturally compares only its subset).
+/// Entries come back in baseline file order.
+pub fn diff(base: &Snapshot, cand: &Snapshot, cfg: &DiffConfig) -> Vec<DiffEntry> {
+    let cand_by_key: BTreeMap<(u64, String), &SnapshotPoint> =
+        cand.points.iter().map(|p| (p.key(), p)).collect();
+    let mut out = Vec::new();
+    for bp in &base.points {
+        let Some(cp) = cand_by_key.get(&bp.key()) else {
+            continue;
+        };
+        for (variant, &b) in &bp.gflops {
+            let Some(&c) = cp.gflops.get(variant) else {
+                continue;
+            };
+            if b <= 0.0 {
+                continue;
+            }
+            let spread_sum = bp.spread.get(variant).copied().unwrap_or(0.0)
+                + cp.spread.get(variant).copied().unwrap_or(0.0);
+            let threshold = (cfg.spread_factor * spread_sum).max(cfg.floor);
+            let rel_change = c / b - 1.0;
+            let verdict = if rel_change < -threshold {
+                Verdict::Regressed
+            } else if rel_change > threshold {
+                Verdict::Improved
+            } else {
+                Verdict::Ok
+            };
+            out.push(DiffEntry {
+                n: bp.n,
+                precision: bp.precision.clone(),
+                variant: variant.clone(),
+                base: b,
+                cand: c,
+                rel_change,
+                threshold,
+                verdict,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V1: &str = r#"{
+      "schema": "perfport-bench-gemm/1",
+      "quick": false,
+      "points": [
+        {"n": 1024, "precision": "FP64", "c-openmp": 5.0, "julia": 4.0,
+         "vendor": 9.0, "best_naive": "c-openmp", "vendor_over_naive": 1.8}
+      ]
+    }"#;
+
+    const V2: &str = r#"{
+      "schema": "perfport-bench-gemm/2",
+      "quick": true,
+      "points": [
+        {"n": 1024, "precision": "FP64",
+         "gflops": {"c-openmp": 5.0, "julia": 4.0, "vendor": 9.0},
+         "spread": {"c-openmp": 0.01, "julia": 0.08, "vendor": 0.01}}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_both_schema_versions() {
+        let v1 = parse_snapshot(V1).unwrap();
+        assert_eq!(v1.schema, "perfport-bench-gemm/1");
+        assert_eq!(v1.points.len(), 1);
+        assert_eq!(v1.points[0].gflops["vendor"], 9.0);
+        assert!(v1.points[0].spread.is_empty());
+        // /1 meta fields must not be mistaken for variants.
+        assert!(!v1.points[0].gflops.contains_key("vendor_over_naive"));
+
+        let v2 = parse_snapshot(V2).unwrap();
+        assert!(v2.quick);
+        assert_eq!(v2.points[0].gflops["julia"], 4.0);
+        assert_eq!(v2.points[0].spread["julia"], 0.08);
+    }
+
+    #[test]
+    fn rejects_non_snapshots() {
+        assert!(parse_snapshot("{}").is_err());
+        assert!(parse_snapshot("{\"schema\": \"perfport-trace/1\"}").is_err());
+        assert!(parse_snapshot("{\"schema\": \"perfport-bench-gemm/2\"}").is_err());
+        assert!(parse_snapshot("not json").is_err());
+    }
+
+    fn with_vendor(text: &str, vendor: f64) -> Snapshot {
+        let mut snap = parse_snapshot(text).unwrap();
+        snap.points[0].gflops.insert("vendor".to_string(), vendor);
+        snap
+    }
+
+    #[test]
+    fn ten_percent_regression_is_detected() {
+        let base = parse_snapshot(V2).unwrap();
+        // vendor: 9.0 -> 8.1 is -10%; spreads are ±1%, threshold
+        // max(0.05, 2·0.02) = 5% -> regression.
+        let cand = with_vendor(V2, 8.1);
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert_eq!(vendor.verdict, Verdict::Regressed);
+        assert!((vendor.rel_change + 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_cells_get_wider_thresholds() {
+        let base = parse_snapshot(V2).unwrap();
+        // julia scattered ±8% in both runs: threshold 2·0.16 = 32%, so a
+        // 10% dip is noise, not a regression.
+        let mut cand = parse_snapshot(V2).unwrap();
+        cand.points[0].gflops.insert("julia".to_string(), 3.6);
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        let julia = entries.iter().find(|e| e.variant == "julia").unwrap();
+        assert_eq!(julia.verdict, Verdict::Ok);
+        assert!(julia.threshold > 0.3);
+    }
+
+    #[test]
+    fn improvements_are_reported_not_failed() {
+        let base = parse_snapshot(V2).unwrap();
+        let cand = with_vendor(V2, 12.0);
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert_eq!(vendor.verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn quick_candidates_compare_only_shared_points() {
+        let mut base = parse_snapshot(V2).unwrap();
+        base.points.push(SnapshotPoint {
+            n: 2048,
+            precision: "FP64".to_string(),
+            gflops: [("vendor".to_string(), 8.0)].into_iter().collect(),
+            spread: BTreeMap::new(),
+        });
+        let cand = parse_snapshot(V2).unwrap();
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        assert!(entries.iter().all(|e| e.n == 1024));
+    }
+
+    #[test]
+    fn v1_baselines_use_the_floor() {
+        let base = parse_snapshot(V1).unwrap();
+        let cand = with_vendor(V1, 8.1); // -10% with no recorded spread
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert!((vendor.threshold - 0.05).abs() < 1e-12);
+        assert_eq!(vendor.verdict, Verdict::Regressed);
+    }
+}

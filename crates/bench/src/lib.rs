@@ -2,16 +2,27 @@
 //!
 //! Every binary accepts `--quick` (reduced sweep for smoke testing),
 //! `--csv` (machine-readable output next to the human-readable table),
-//! `--threads <n>` (worker-team size, default: all available cores), and
+//! `--threads <n>` (worker-team size, default: all available cores),
 //! `--trace <path>` (write a Chrome `trace_event` file capturing region,
-//! kernel-launch, and size-point spans for the run). Unknown flags are
-//! an error: the binary prints the usage line and exits with status 2.
+//! kernel-launch, and size-point spans for the run), and `--profile`
+//! (read hardware counters around pool regions via `perfport-obs`;
+//! degrades to timing-only with a note when counters are unavailable).
+//! Unknown flags are an error: the binary prints the usage line and
+//! exits with status 2. Binaries with extra flags (`host_gemm`,
+//! `roofline_report`) extend the same parser via
+//! [`HarnessArgs::try_parse_with`], so the shared set behaves
+//! identically everywhere.
+
+pub mod diff;
+pub mod manifest;
+
+pub use manifest::Manifest;
 
 use perfport_core::{figure_specs, render_csv, render_figure, FigureSpec, StudyConfig};
 use std::path::PathBuf;
 
 /// The usage line shared by every regeneration binary.
-pub const USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>]";
+pub const USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile]";
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone, Default)]
@@ -24,6 +35,8 @@ pub struct HarnessArgs {
     pub threads: Option<usize>,
     /// Write a Chrome trace of the run here.
     pub trace: Option<PathBuf>,
+    /// Read hardware counters around pool regions and kernel sweeps.
+    pub profile: bool,
     /// `--help`/`-h` was given; [`HarnessArgs::parse`] prints usage and
     /// exits before a binary ever observes this set.
     pub help: bool,
@@ -33,12 +46,23 @@ impl HarnessArgs {
     /// Parses the arguments every binary supports, returning an error
     /// message for anything unrecognised or malformed.
     pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        Self::try_parse_with(args, |_| false)
+    }
+
+    /// Like [`HarnessArgs::try_parse`], but lets a binary accept extra
+    /// boolean flags on top of the shared set: `extra` is called for any
+    /// otherwise-unknown argument and returns whether it consumed it.
+    pub fn try_parse_with<I: IntoIterator<Item = String>>(
+        args: I,
+        mut extra: impl FnMut(&str) -> bool,
+    ) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--csv" => out.csv = true,
+                "--profile" => out.profile = true,
                 "--help" | "-h" => out.help = true,
                 "--threads" => match it.next() {
                     Some(n) => out.threads = Some(parse_thread_count(&n)?),
@@ -53,7 +77,7 @@ impl HarnessArgs {
                         out.threads = Some(parse_thread_count(n)?);
                     } else if let Some(path) = other.strip_prefix("--trace=") {
                         out.trace = Some(PathBuf::from(path));
-                    } else {
+                    } else if !extra(other) {
                         return Err(format!("unknown argument '{other}'"));
                     }
                 }
@@ -66,15 +90,25 @@ impl HarnessArgs {
     /// and exits non-zero on anything unrecognised (exits zero for
     /// `--help`).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
-        match Self::try_parse(args) {
+        Self::parse_with_usage(args, USAGE, |_| false)
+    }
+
+    /// [`HarnessArgs::parse`] with a binary-specific usage line and extra
+    /// flags (see [`HarnessArgs::try_parse_with`]).
+    pub fn parse_with_usage<I: IntoIterator<Item = String>>(
+        args: I,
+        usage: &str,
+        extra: impl FnMut(&str) -> bool,
+    ) -> Self {
+        match Self::try_parse_with(args, extra) {
             Ok(out) if out.help => {
-                println!("{USAGE}");
+                println!("{usage}");
                 std::process::exit(0);
             }
             Ok(out) => out,
             Err(msg) => {
                 eprintln!("error: {msg}");
-                eprintln!("{USAGE}");
+                eprintln!("{usage}");
                 std::process::exit(2);
             }
         }
@@ -83,6 +117,18 @@ impl HarnessArgs {
     /// Parses from the process arguments.
     pub fn from_env() -> Self {
         Self::parse(std::env::args().skip(1))
+    }
+
+    /// Enables hardware-counter profiling when `--profile` was given,
+    /// printing a one-line notice either way (to stderr, so tables stay
+    /// clean). Returns whether counters are actually recording.
+    pub fn start_profiling(&self) -> bool {
+        if !self.profile {
+            return false;
+        }
+        let avail = perfport_obs::try_enable();
+        eprintln!("hardware counters: {}", avail.manifest_str());
+        avail.is_available()
     }
 
     /// The worker-team size to run with: the `--threads` override, or
@@ -109,12 +155,19 @@ impl HarnessArgs {
         }
     }
 
-    /// Starts a global trace session when `--trace` was given. Call
+    /// Starts a global trace session when `--trace` was given, stamping
+    /// the run's provenance manifest as the first event so every trace
+    /// artifact records the machine/toolchain that produced it. Call
     /// [`TraceOutput::finish`] after the run to write the file.
     pub fn start_trace(&self) -> Option<TraceOutput> {
-        self.trace.as_ref().map(|path| TraceOutput {
-            session: perfport_trace::TraceSession::start(),
-            path: path.clone(),
+        self.trace.as_ref().map(|path| {
+            let session = perfport_trace::TraceSession::start();
+            let manifest = Manifest::collect(self.thread_count());
+            perfport_trace::instant("bench", "manifest", manifest.trace_args());
+            TraceOutput {
+                session,
+                path: path.clone(),
+            }
         })
     }
 }
@@ -166,6 +219,7 @@ pub fn spec(id: &str) -> FigureSpec {
 
 /// Runs the panels and prints them (plus CSV when requested).
 pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
+    args.start_profiling();
     let trace = args.start_trace();
     let cfg = args.config();
     for id in ids {
@@ -248,6 +302,40 @@ mod tests {
         assert!(b.quick);
         // A dangling --trace is now a hard error, like any malformed flag.
         assert!(parse_err(&["--trace"]).contains("path"));
+    }
+
+    #[test]
+    fn profile_flag_parses_everywhere() {
+        assert!(parse_ok(&["--profile"]).profile);
+        assert!(!parse_ok(&[]).profile);
+        let a = parse_ok(&["--quick", "--profile", "--threads", "2"]);
+        assert!(a.profile && a.quick);
+        assert!(USAGE.contains("--profile"));
+    }
+
+    #[test]
+    fn extra_flags_extend_but_do_not_weaken_rejection() {
+        let mut measured = false;
+        let a = HarnessArgs::try_parse_with(
+            ["--quick", "--measured"].iter().map(|s| s.to_string()),
+            |f| {
+                if f == "--measured" {
+                    measured = true;
+                    true
+                } else {
+                    false
+                }
+            },
+        )
+        .unwrap();
+        assert!(a.quick && measured);
+        // Anything the hook declines is still a hard error.
+        let err =
+            HarnessArgs::try_parse_with(["--frobnicate"].iter().map(|s| s.to_string()), |f| {
+                f == "--measured"
+            })
+            .unwrap_err();
+        assert!(err.contains("--frobnicate"));
     }
 
     #[test]

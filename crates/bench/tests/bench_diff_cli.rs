@@ -1,0 +1,97 @@
+//! End-to-end checks of the `bench_diff` binary: exit codes are the
+//! contract CI depends on, so they are pinned here against synthetic
+//! snapshot fixtures rather than left to the library tests alone.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BASELINE: &str = r#"{
+  "schema": "perfport-bench-gemm/2",
+  "quick": false,
+  "points": [
+    {"n": 1024, "precision": "FP64",
+     "gflops": {"c-openmp": 5.0, "kokkos": 4.8, "vendor": 9.0},
+     "spread": {"c-openmp": 0.01, "kokkos": 0.01, "vendor": 0.01}}
+  ]
+}"#;
+
+/// The synthetic regression fixture: vendor drops exactly 10% while the
+/// naive variants hold steady.
+const REGRESSED: &str = r#"{
+  "schema": "perfport-bench-gemm/2",
+  "quick": true,
+  "points": [
+    {"n": 1024, "precision": "FP64",
+     "gflops": {"c-openmp": 5.0, "kokkos": 4.8, "vendor": 8.1},
+     "spread": {"c-openmp": 0.01, "kokkos": 0.01, "vendor": 0.01}}
+  ]
+}"#;
+
+fn fixture(name: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfport-bench-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("bench_diff must run");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+#[test]
+fn ten_percent_regression_exits_one() {
+    let base = fixture("base.json", BASELINE);
+    let cand = fixture("regressed.json", REGRESSED);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(
+        code, 1,
+        "a 10% vendor regression must fail the gate:\n{text}"
+    );
+    assert!(text.contains("REGRESSED"), "verdict missing:\n{text}");
+    assert!(text.contains("1 regressed"), "summary missing:\n{text}");
+}
+
+#[test]
+fn warn_only_reports_but_passes() {
+    let base = fixture("base2.json", BASELINE);
+    let cand = fixture("regressed2.json", REGRESSED);
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--warn-only",
+    ]);
+    assert_eq!(code, 0, "warn-only must not fail:\n{text}");
+    assert!(text.contains("REGRESSED"));
+    assert!(text.contains("warn-only"));
+}
+
+#[test]
+fn identical_snapshots_pass() {
+    let base = fixture("same-a.json", BASELINE);
+    let cand = fixture("same-b.json", BASELINE);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(code, 0, "identical snapshots must pass:\n{text}");
+    assert!(text.contains("0 regressed"));
+}
+
+#[test]
+fn bad_input_is_a_usage_error_not_a_pass() {
+    let base = fixture("base3.json", BASELINE);
+    let bogus = fixture("bogus.json", "{\"schema\": \"perfport-trace/1\"}");
+    let (code, _) = run(&[base.to_str().unwrap(), bogus.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    let (code, _) = run(&[base.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    let (code, _) = run(&["--frobnicate"]);
+    assert_eq!(code, 2);
+}

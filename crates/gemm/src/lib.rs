@@ -39,7 +39,9 @@ pub use matrix::{Layout, Matrix};
 pub use parallel::{par_gemm, par_gemm_element_grid};
 pub use portable::{gemm_element, portable_gemm, Backend, BackendStats, GemmAccess};
 pub use scalar::Scalar;
-pub use serial::{gemm_flops, gemm_reference_f64, LoopOrder};
+pub use serial::{
+    gemm_arithmetic_intensity, gemm_flops, gemm_min_bytes, gemm_reference_f64, LoopOrder,
+};
 pub use tuned::{BlockSizes, PackArena, TileShape, TunedParams, TunedStats};
 pub use variants::CpuVariant;
 pub use verify::{max_abs_error, max_rel_error, verify_gemm, Tolerance};

@@ -31,6 +31,21 @@ pub fn par_gemm<T: Scalar>(
 ) -> RegionStats {
     assert_eq!(c.layout(), variant.layout(), "C layout mismatch");
     let shape = (c.rows(), c.cols());
+    let mut sp = perfport_trace::span("gemm", "par_gemm");
+    if sp.is_recording() {
+        sp.arg("variant", variant.name());
+        sp.arg("m", shape.0);
+        sp.arg("n", shape.1);
+        sp.arg("k", a.cols());
+        sp.arg(
+            "flops",
+            crate::serial::gemm_flops(shape.0, shape.1, a.cols()),
+        );
+        sp.arg(
+            "min_bytes",
+            crate::serial::gemm_min_bytes(shape.0, shape.1, a.cols(), std::mem::size_of::<T>()),
+        );
+    }
     let extent = variant.parallel_extent(shape.0, shape.1);
     let ds = DisjointSlice::new(c.as_mut_slice());
     pool.parallel_for(extent, schedule, |_ctx, chunk| {

@@ -14,6 +14,24 @@ pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
     2 * m as u64 * n as u64 * k as u64
 }
 
+/// Compulsory memory traffic of one `C += A·B` in bytes: each operand
+/// read once (`A: m×k`, `B: k×n`) and `C` read and written once. Real
+/// kernels move more (re-fetches when the working set exceeds cache);
+/// this floor is the denominator of the *analytic* arithmetic intensity,
+/// the number a measured LLC-traffic estimate is compared against.
+pub fn gemm_min_bytes(m: usize, n: usize, k: usize, elem_bytes: usize) -> u64 {
+    let (m, n, k, b) = (m as u64, n as u64, k as u64, elem_bytes as u64);
+    (m * k + k * n + 2 * m * n) * b
+}
+
+/// Analytic arithmetic intensity (flops per compulsory byte) of one
+/// GEMM — `gemm_flops / gemm_min_bytes`. Grows like `n/2·bytes` for
+/// square matrices, which is why GEMM leaves the bandwidth roof so
+/// quickly.
+pub fn gemm_arithmetic_intensity(m: usize, n: usize, k: usize, elem_bytes: usize) -> f64 {
+    gemm_flops(m, n, k) as f64 / gemm_min_bytes(m, n, k, elem_bytes) as f64
+}
+
 /// The six orderings of the GEMM triple loop.
 ///
 /// The names list the loops outermost-first; `i` indexes rows of `C`,

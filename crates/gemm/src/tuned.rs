@@ -574,6 +574,14 @@ pub fn gemm<T: Scalar>(
         sp.arg("mc", params.blocks.mc);
         sp.arg("kc", params.blocks.kc);
         sp.arg("nc", params.blocks.nc);
+        // FLOP/byte annotation: pairs the analytic work and compulsory
+        // traffic with whatever hardware counters the run records, so a
+        // trace alone is enough to place this kernel on a roofline.
+        sp.arg("flops", crate::serial::gemm_flops(m, n, a.cols()));
+        sp.arg(
+            "min_bytes",
+            crate::serial::gemm_min_bytes(m, n, a.cols(), std::mem::size_of::<T>()),
+        );
     }
     let layout = c.layout();
     let ds = DisjointSlice::new(c.as_mut_slice());
@@ -716,6 +724,7 @@ mod tests {
             l1d_bytes: 1024,
             l2_bytes: 4096,
             l3_bytes: 65536,
+            ..CacheInfo::DEFAULT
         };
         let b = BlockSizes::for_cache(tiny, TileShape { mr: 8, nr: 8 }, 8);
         assert!(b.kc >= 64 && b.mc >= 8 && b.nc >= 8);

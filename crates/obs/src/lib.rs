@@ -1,0 +1,523 @@
+//! Hardware-counter observability for the perfport workspace.
+//!
+//! The benchmark story in the paper (Table III, Figs. 4–7) rests on
+//! measured GFLOP/s; this crate attaches the *hardware evidence* behind
+//! those rates — instructions-per-cycle, cache-miss traffic, branch
+//! behaviour — read from `perf_event_open(2)` counter groups around pool
+//! regions and kernel sweeps. Design rules, in the same spirit as
+//! `perfport-trace`:
+//!
+//! - **Observation only.** Counters never feed back into timings or
+//!   results; everything stays bit-identical with profiling on or off
+//!   (asserted by the end-to-end suite).
+//! - **Graceful degradation.** Containers, `perf_event_paranoid >= 3`,
+//!   seccomp filters, and non-Linux hosts all land in the same place: a
+//!   cached [`Availability::Unavailable`] with the OS's reason, and every
+//!   instrumentation site stays a single relaxed atomic load. Timing-only
+//!   output is unchanged.
+//! - **One sink.** Measured deltas are emitted as `perfport-trace`
+//!   counters (category `"hw"`), so the JSONL, Chrome, and text-summary
+//!   exporters pick them up with no extra plumbing, and aggregated into
+//!   process-wide [`Totals`] for the bench manifests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! // Ask for counters; fine either way — unavailable hosts keep timing.
+//! let avail = perfport_obs::try_enable();
+//! let before = perfport_obs::totals();
+//! {
+//!     let _scope = perfport_obs::thread_scope();
+//!     // ... hot work on this thread ...
+//! }
+//! let delta = perfport_obs::totals().delta(&before);
+//! if avail.is_available() {
+//!     println!("IPC {:?}", delta.ipc());
+//! }
+//! perfport_obs::disable();
+//! ```
+
+mod perf;
+
+pub use perf::RawSample;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable that forces [`probe`] to report counters as
+/// unavailable (simulating `perf_event_paranoid=3` for tests and CI);
+/// its value becomes the reason string.
+pub const FORCE_UNAVAILABLE_ENV: &str = "PERFPORT_OBS_FORCE_UNAVAILABLE";
+
+/// The hardware events one counter group measures, in group order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HwCounter {
+    /// CPU cycles (user space only).
+    Cycles,
+    /// Retired instructions.
+    Instructions,
+    /// L1 data-cache read misses.
+    L1dMisses,
+    /// Last-level-cache misses (DRAM traffic proxy).
+    LlcMisses,
+    /// Mispredicted branches.
+    BranchMisses,
+}
+
+impl HwCounter {
+    /// Number of events in a group.
+    pub const COUNT: usize = 5;
+
+    /// Every event, in the order counts are stored.
+    pub const ALL: [HwCounter; HwCounter::COUNT] = [
+        HwCounter::Cycles,
+        HwCounter::Instructions,
+        HwCounter::L1dMisses,
+        HwCounter::LlcMisses,
+        HwCounter::BranchMisses,
+    ];
+
+    /// Stable snake_case name used for trace counters and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            HwCounter::Cycles => "cycles",
+            HwCounter::Instructions => "instructions",
+            HwCounter::L1dMisses => "l1d_misses",
+            HwCounter::LlcMisses => "llc_misses",
+            HwCounter::BranchMisses => "branch_misses",
+        }
+    }
+
+    /// Index into count arrays.
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Whether hardware counters can be opened on this host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Availability {
+    /// A counter group opened and read successfully.
+    Available,
+    /// Counters cannot be used; the reason is surfaced verbatim in
+    /// manifests (`counters: unavailable (...)`).
+    Unavailable {
+        /// Why opening failed (OS error, paranoid level, platform).
+        reason: String,
+    },
+}
+
+impl Availability {
+    /// True when counters work.
+    pub fn is_available(&self) -> bool {
+        matches!(self, Availability::Available)
+    }
+
+    /// The manifest wording: `"available"` or `"unavailable (reason)"`.
+    pub fn manifest_str(&self) -> String {
+        match self {
+            Availability::Available => "available".to_string(),
+            Availability::Unavailable { reason } => format!("unavailable ({reason})"),
+        }
+    }
+}
+
+fn probe_uncached() -> Availability {
+    if let Ok(reason) = std::env::var(FORCE_UNAVAILABLE_ENV) {
+        let reason = if reason.is_empty() || reason == "1" {
+            "forced off via PERFPORT_OBS_FORCE_UNAVAILABLE".to_string()
+        } else {
+            reason
+        };
+        return Availability::Unavailable { reason };
+    }
+    match perf::PerfGroup::open() {
+        Ok(group) => match group.read_sample() {
+            Ok(_) => Availability::Available,
+            Err(e) => Availability::Unavailable {
+                reason: format!("group read failed: {e}{}", paranoid_hint()),
+            },
+        },
+        Err(e) => Availability::Unavailable {
+            reason: format!("{e}{}", paranoid_hint()),
+        },
+    }
+}
+
+/// Appends the kernel's paranoid level to failure reasons when it is
+/// readable — the most common cause on shared machines and containers.
+fn paranoid_hint() -> String {
+    match std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid") {
+        Ok(s) => format!("; perf_event_paranoid={}", s.trim()),
+        Err(_) => String::new(),
+    }
+}
+
+/// Probes counter availability once per process (cached). The probe
+/// actually opens and reads a group, so "available" means the whole
+/// path works, not just that the syscall exists.
+pub fn probe() -> &'static Availability {
+    static PROBE: OnceLock<Availability> = OnceLock::new();
+    PROBE.get_or_init(probe_uncached)
+}
+
+/// Profiling requested and counters available. One relaxed load; this is
+/// the gate every instrumentation site checks first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether profiling is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Requests hardware profiling. Returns the cached availability; when
+/// counters are unavailable this is a no-op and every downstream site
+/// keeps its timing-only behaviour.
+pub fn try_enable() -> &'static Availability {
+    let avail = probe();
+    if avail.is_available() {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+    avail
+}
+
+/// Stops profiling. Open per-thread groups are kept (cheap, fd-only) but
+/// no further scopes record.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// A counter sample with multiplexing metadata, plus derived rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Sample {
+    /// The raw kernel-side snapshot.
+    pub raw: RawSample,
+}
+
+impl Sample {
+    /// Multiplexing-corrected count for one event: when the PMU had to
+    /// time-share groups, raw counts are scaled by `enabled / running`
+    /// (the standard `perf` estimate).
+    pub fn scaled(&self, c: HwCounter) -> u64 {
+        let raw = self.raw.counts[c.idx()];
+        if self.raw.time_running_ns == 0 || self.raw.time_running_ns >= self.raw.time_enabled_ns {
+            return raw;
+        }
+        let ratio = self.raw.time_enabled_ns as f64 / self.raw.time_running_ns as f64;
+        (raw as f64 * ratio).round() as u64
+    }
+
+    /// Element-wise delta since `earlier` (saturating, in case the group
+    /// was reset in between).
+    pub fn delta(&self, earlier: &Sample) -> Sample {
+        let mut out = RawSample {
+            time_enabled_ns: self
+                .raw
+                .time_enabled_ns
+                .saturating_sub(earlier.raw.time_enabled_ns),
+            time_running_ns: self
+                .raw
+                .time_running_ns
+                .saturating_sub(earlier.raw.time_running_ns),
+            counts: [0; HwCounter::COUNT],
+        };
+        for i in 0..HwCounter::COUNT {
+            out.counts[i] = self.raw.counts[i].saturating_sub(earlier.raw.counts[i]);
+        }
+        Sample { raw: out }
+    }
+}
+
+/// Process-wide accumulated (multiplexing-corrected) counts, summed over
+/// every recorded scope on every thread. This is what bench manifests
+/// and the measured-roofline mode read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Scaled event counts, indexed by [`HwCounter`] discriminant.
+    pub counts: [u64; HwCounter::COUNT],
+    /// Number of scopes that contributed.
+    pub scopes: u64,
+}
+
+impl Totals {
+    /// Count for one event.
+    pub fn get(&self, c: HwCounter) -> u64 {
+        self.counts[c.idx()]
+    }
+
+    /// Element-wise difference since `earlier` — the usual way to
+    /// attribute counts to one phase of a run.
+    pub fn delta(&self, earlier: &Totals) -> Totals {
+        let mut out = Totals {
+            counts: [0; HwCounter::COUNT],
+            scopes: self.scopes.saturating_sub(earlier.scopes),
+        };
+        for i in 0..HwCounter::COUNT {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+
+    /// Instructions per cycle, if both counted.
+    pub fn ipc(&self) -> Option<f64> {
+        let cycles = self.get(HwCounter::Cycles);
+        let instr = self.get(HwCounter::Instructions);
+        (cycles > 0).then(|| instr as f64 / cycles as f64)
+    }
+
+    /// Misses per thousand instructions for `c`.
+    pub fn per_kilo_instruction(&self, c: HwCounter) -> Option<f64> {
+        let instr = self.get(HwCounter::Instructions);
+        (instr > 0).then(|| self.get(c) as f64 * 1000.0 / instr as f64)
+    }
+
+    /// Estimated DRAM traffic in bytes: LLC misses × the (near-universal)
+    /// 64-byte line. A lower bound — prefetches that hit LLC are free
+    /// here — which is the conservative direction for measured
+    /// arithmetic intensity.
+    pub fn est_dram_bytes(&self) -> u64 {
+        self.get(HwCounter::LlcMisses) * 64
+    }
+}
+
+static TOTALS: [AtomicU64; HwCounter::COUNT] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static TOTAL_SCOPES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide accumulated counts.
+pub fn totals() -> Totals {
+    let mut out = Totals {
+        counts: [0; HwCounter::COUNT],
+        scopes: TOTAL_SCOPES.load(Ordering::Relaxed),
+    };
+    for (slot, total) in out.counts.iter_mut().zip(&TOTALS) {
+        *slot = total.load(Ordering::Relaxed);
+    }
+    out
+}
+
+/// Resets the process-wide totals to zero (bench phase boundaries).
+pub fn reset_totals() {
+    for t in &TOTALS {
+        t.store(0, Ordering::Relaxed);
+    }
+    TOTAL_SCOPES.store(0, Ordering::Relaxed);
+}
+
+fn accumulate(delta: &Sample) {
+    for (i, &c) in HwCounter::ALL.iter().enumerate() {
+        TOTALS[i].fetch_add(delta.scaled(c), Ordering::Relaxed);
+    }
+    TOTAL_SCOPES.fetch_add(1, Ordering::Relaxed);
+}
+
+thread_local! {
+    // One lazily-opened group per thread; `None` after a failed open so
+    // a denied thread does not retry the syscall per region.
+    static THREAD_GROUP: std::cell::RefCell<Option<Option<perf::PerfGroup>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn with_thread_group<R>(f: impl FnOnce(&perf::PerfGroup) -> R) -> Option<R> {
+    THREAD_GROUP.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let entry = slot.get_or_insert_with(|| perf::PerfGroup::open().ok());
+        entry.as_ref().map(f)
+    })
+}
+
+/// Measures the calling thread's hardware counters from creation to
+/// drop. On drop the delta is fed to `perfport-trace` (category `"hw"`,
+/// one multi-series counter event) and added to the process [`Totals`].
+/// When profiling is disabled this is a no-op behind one atomic load.
+#[must_use = "a scope measures until this guard drops"]
+pub struct ThreadScope {
+    start: Option<Sample>,
+}
+
+impl ThreadScope {
+    /// Whether this scope is actually counting.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// Opens a [`ThreadScope`] on the calling thread.
+pub fn thread_scope() -> ThreadScope {
+    if !enabled() {
+        return ThreadScope { start: None };
+    }
+    let start = with_thread_group(|g| g.read_sample().ok())
+        .flatten()
+        .map(|raw| Sample { raw });
+    ThreadScope { start }
+}
+
+impl Drop for ThreadScope {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let Some(Some(end)) = with_thread_group(|g| g.read_sample().ok()) else {
+            return;
+        };
+        let delta = Sample { raw: end }.delta(&start);
+        accumulate(&delta);
+        if perfport_trace::enabled() {
+            let values: Vec<(&str, f64)> = HwCounter::ALL
+                .iter()
+                .map(|&c| (c.name(), delta.scaled(c) as f64))
+                .collect();
+            perfport_trace::counter_set("hw", "counters", &values);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ENABLED and the totals are process-wide; serialize the tests that
+    // touch them.
+    static GLOBAL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn sample(counts: [u64; HwCounter::COUNT], enabled: u64, running: u64) -> Sample {
+        Sample {
+            raw: RawSample {
+                time_enabled_ns: enabled,
+                time_running_ns: running,
+                counts,
+            },
+        }
+    }
+
+    #[test]
+    fn counter_names_are_stable() {
+        let names: Vec<&str> = HwCounter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cycles",
+                "instructions",
+                "l1d_misses",
+                "llc_misses",
+                "branch_misses"
+            ]
+        );
+        for (i, c) in HwCounter::ALL.into_iter().enumerate() {
+            assert_eq!(c.idx(), i);
+        }
+    }
+
+    #[test]
+    fn multiplex_scaling_applies_only_when_descheduled() {
+        let full = sample([1000, 2000, 0, 0, 0], 100, 100);
+        assert_eq!(full.scaled(HwCounter::Cycles), 1000);
+        // Counted half the time: estimate doubles.
+        let half = sample([1000, 2000, 0, 0, 0], 100, 50);
+        assert_eq!(half.scaled(HwCounter::Cycles), 2000);
+        assert_eq!(half.scaled(HwCounter::Instructions), 4000);
+        // Zero running time: no extrapolation, raw counts stand.
+        let none = sample([7, 0, 0, 0, 0], 100, 0);
+        assert_eq!(none.scaled(HwCounter::Cycles), 7);
+    }
+
+    #[test]
+    fn sample_delta_is_elementwise_and_saturating() {
+        let a = sample([10, 20, 30, 40, 50], 1000, 1000);
+        let b = sample([15, 22, 30, 41, 49], 1500, 1400);
+        let d = b.delta(&a);
+        assert_eq!(d.raw.counts, [5, 2, 0, 1, 0]);
+        assert_eq!(d.raw.time_enabled_ns, 500);
+        assert_eq!(d.raw.time_running_ns, 400);
+    }
+
+    #[test]
+    fn totals_derived_rates() {
+        let t = Totals {
+            counts: [1000, 3000, 60, 15, 9],
+            scopes: 2,
+        };
+        assert!((t.ipc().unwrap() - 3.0).abs() < 1e-12);
+        assert!((t.per_kilo_instruction(HwCounter::LlcMisses).unwrap() - 5.0).abs() < 1e-12);
+        assert!((t.per_kilo_instruction(HwCounter::L1dMisses).unwrap() - 20.0).abs() < 1e-12);
+        assert_eq!(t.est_dram_bytes(), 15 * 64);
+        let zero = Totals::default();
+        assert_eq!(zero.ipc(), None);
+        assert_eq!(zero.per_kilo_instruction(HwCounter::LlcMisses), None);
+        let d = t.delta(&Totals {
+            counts: [400, 1000, 10, 5, 4],
+            scopes: 1,
+        });
+        assert_eq!(d.counts, [600, 2000, 50, 10, 5]);
+        assert_eq!(d.scopes, 1);
+    }
+
+    #[test]
+    fn forced_unavailability_reports_reason_and_keeps_sites_inert() {
+        let _guard = GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Simulates `perf_event_paranoid=3`: the probe must refuse and
+        // every scope must be a recording-free no-op.
+        std::env::set_var(FORCE_UNAVAILABLE_ENV, "perf_event_paranoid=3 (simulated)");
+        let avail = probe_uncached();
+        std::env::remove_var(FORCE_UNAVAILABLE_ENV);
+        assert!(!avail.is_available());
+        assert_eq!(
+            avail.manifest_str(),
+            "unavailable (perf_event_paranoid=3 (simulated))"
+        );
+        disable();
+        let before = totals();
+        let scope = thread_scope();
+        assert!(!scope.is_recording());
+        drop(scope);
+        assert_eq!(totals(), before, "a disabled scope must record nothing");
+    }
+
+    #[test]
+    fn scopes_accumulate_when_counters_work() {
+        let _guard = GLOBAL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Whichever way the probe goes on this host, the invariants hold:
+        // available -> scopes record and totals grow monotonically;
+        // unavailable -> everything stays inert.
+        let avail = try_enable();
+        let before = totals();
+        {
+            let scope = thread_scope();
+            assert_eq!(scope.is_recording(), avail.is_available());
+            // Burn a few instructions so the delta is non-trivial.
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            std::hint::black_box(acc);
+        }
+        let after = totals();
+        disable();
+        if avail.is_available() {
+            assert_eq!(after.scopes, before.scopes + 1);
+            assert!(
+                after.get(HwCounter::Instructions) > before.get(HwCounter::Instructions),
+                "a busy loop must retire instructions"
+            );
+        } else {
+            assert_eq!(after, before);
+        }
+    }
+
+    #[test]
+    fn manifest_wording() {
+        assert_eq!(Availability::Available.manifest_str(), "available");
+        assert!(Availability::Unavailable {
+            reason: "x".to_string()
+        }
+        .manifest_str()
+        .starts_with("unavailable"));
+    }
+}

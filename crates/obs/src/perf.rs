@@ -1,0 +1,260 @@
+//! Raw `perf_event_open(2)` bindings: a counter *group* on the calling
+//! thread, read atomically with `PERF_FORMAT_GROUP`.
+//!
+//! No external crate: the workspace builds hermetically, so the syscall,
+//! `ioctl`, `read`, and `close` are declared directly against the C
+//! runtime that `std` already links. Everything here is gated to Linux;
+//! other platforms get the permanent-failure stub at the bottom, so the
+//! crate's public surface is identical everywhere.
+
+use crate::HwCounter;
+
+/// One atomically-read snapshot of a counter group.
+///
+/// `time_enabled_ns`/`time_running_ns` come from the kernel's
+/// multiplexing accounting: when more groups are scheduled than the PMU
+/// has slots, `running < enabled` and raw counts must be scaled by
+/// `enabled / running` to estimate the true totals (the standard `perf`
+/// correction; [`crate::Sample::scaled`] applies it).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RawSample {
+    /// Wall time the group was enabled, ns.
+    pub time_enabled_ns: u64,
+    /// Time the group was actually counting on the PMU, ns.
+    pub time_running_ns: u64,
+    /// Raw counts, indexed by [`HwCounter`] discriminant.
+    pub counts: [u64; HwCounter::COUNT],
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::PerfGroup;
+#[cfg(not(target_os = "linux"))]
+pub use stub::PerfGroup;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::RawSample;
+    use crate::HwCounter;
+    use std::ffi::{c_int, c_long, c_ulong, c_void};
+
+    extern "C" {
+        fn syscall(num: c_long, ...) -> c_long;
+        fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_PERF_EVENT_OPEN: c_long = 241;
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    const SYS_PERF_EVENT_OPEN: c_long = -1;
+
+    // perf_event_attr.type
+    const PERF_TYPE_HARDWARE: u32 = 0;
+    const PERF_TYPE_HW_CACHE: u32 = 3;
+    // PERF_TYPE_HARDWARE configs
+    const PERF_COUNT_HW_CPU_CYCLES: u64 = 0;
+    const PERF_COUNT_HW_INSTRUCTIONS: u64 = 1;
+    const PERF_COUNT_HW_CACHE_MISSES: u64 = 3; // last-level cache
+    const PERF_COUNT_HW_BRANCH_MISSES: u64 = 5;
+    // PERF_TYPE_HW_CACHE config: cache | (op << 8) | (result << 16),
+    // here L1D (0) | READ (0) | MISS (1).
+    const L1D_READ_MISS: u64 = 1 << 16;
+
+    // read_format bits
+    const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+    const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+    const PERF_FORMAT_GROUP: u64 = 1 << 3;
+
+    // attr flag bits (the packed bitfield word)
+    const ATTR_DISABLED: u64 = 1 << 0;
+    const ATTR_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const ATTR_EXCLUDE_HV: u64 = 1 << 6;
+
+    const PERF_FLAG_FD_CLOEXEC: c_ulong = 8;
+
+    const PERF_EVENT_IOC_ENABLE: c_ulong = 0x2400;
+    const PERF_EVENT_IOC_RESET: c_ulong = 0x2403;
+    const PERF_IOC_FLAG_GROUP: c_ulong = 1;
+
+    /// `struct perf_event_attr` through `PERF_ATTR_SIZE_VER6` (120
+    /// bytes). The kernel accepts any size ≥ VER0 whose trailing bytes it
+    /// does not know are zero, so pinning VER6 works on every kernel this
+    /// code can run on.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        config1: u64,
+        config2: u64,
+        branch_sample_type: u64,
+        sample_regs_user: u64,
+        sample_stack_user: u32,
+        clockid: i32,
+        sample_regs_intr: u64,
+        aux_watermark: u32,
+        sample_max_stack: u16,
+        reserved_2: u16,
+        aux_sample_size: u32,
+        reserved_3: u32,
+    }
+
+    impl PerfEventAttr {
+        fn zeroed() -> Self {
+            // SAFETY: all-zero is a valid bit pattern for this plain-data
+            // struct (and the state the kernel expects unused fields in).
+            unsafe { std::mem::zeroed() }
+        }
+    }
+
+    fn event_config(c: HwCounter) -> (u32, u64) {
+        match c {
+            HwCounter::Cycles => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES),
+            HwCounter::Instructions => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS),
+            HwCounter::L1dMisses => (PERF_TYPE_HW_CACHE, L1D_READ_MISS),
+            HwCounter::LlcMisses => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES),
+            HwCounter::BranchMisses => (PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES),
+        }
+    }
+
+    /// An open group of the five [`HwCounter`] events bound to the thread
+    /// that created it. Counting starts at [`PerfGroup::open`]; reads are
+    /// atomic across the group (one `read(2)` of the leader).
+    pub struct PerfGroup {
+        fds: [c_int; HwCounter::COUNT],
+    }
+
+    impl PerfGroup {
+        /// Opens and enables the group on the calling thread, any CPU.
+        /// Fails with the OS error text when the kernel refuses
+        /// (`perf_event_paranoid`, seccomp, missing PMU, …).
+        pub fn open() -> Result<PerfGroup, String> {
+            if SYS_PERF_EVENT_OPEN < 0 {
+                return Err(format!(
+                    "perf_event_open syscall number unknown on {}",
+                    std::env::consts::ARCH
+                ));
+            }
+            let mut fds = [-1 as c_int; HwCounter::COUNT];
+            for (i, &counter) in HwCounter::ALL.iter().enumerate() {
+                let (type_, config) = event_config(counter);
+                let mut attr = PerfEventAttr::zeroed();
+                attr.type_ = type_;
+                attr.size = std::mem::size_of::<PerfEventAttr>() as u32;
+                attr.config = config;
+                // Only the leader starts disabled; members follow it.
+                attr.flags =
+                    ATTR_EXCLUDE_KERNEL | ATTR_EXCLUDE_HV | if i == 0 { ATTR_DISABLED } else { 0 };
+                if i == 0 {
+                    attr.read_format = PERF_FORMAT_GROUP
+                        | PERF_FORMAT_TOTAL_TIME_ENABLED
+                        | PERF_FORMAT_TOTAL_TIME_RUNNING;
+                }
+                let group_fd = if i == 0 { -1 } else { fds[0] };
+                // SAFETY: attr is a valid, fully-initialised attr struct
+                // that outlives the call; the remaining args are scalars.
+                let fd = unsafe {
+                    syscall(
+                        SYS_PERF_EVENT_OPEN,
+                        &attr as *const PerfEventAttr,
+                        0 as c_int,  // pid: calling thread
+                        -1 as c_int, // cpu: any
+                        group_fd,
+                        PERF_FLAG_FD_CLOEXEC,
+                    )
+                };
+                if fd < 0 {
+                    let err = std::io::Error::last_os_error();
+                    let group = PerfGroup { fds };
+                    drop(group); // close what was opened so far
+                    return Err(format!("{counter:?} ({type_}/{config:#x}): {err}"));
+                }
+                fds[i] = fd as c_int;
+            }
+            let group = PerfGroup { fds };
+            // SAFETY: fds[0] is an open perf fd owned by `group`.
+            unsafe {
+                ioctl(group.fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+                if ioctl(group.fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0 {
+                    return Err(format!(
+                        "PERF_EVENT_IOC_ENABLE: {}",
+                        std::io::Error::last_os_error()
+                    ));
+                }
+            }
+            Ok(group)
+        }
+
+        /// Reads the whole group in one syscall.
+        pub fn read_sample(&self) -> Result<RawSample, String> {
+            // Layout with GROUP|TOTAL_TIME_ENABLED|TOTAL_TIME_RUNNING:
+            // nr, time_enabled, time_running, value[nr].
+            let mut buf = [0u64; 3 + HwCounter::COUNT];
+            let want = std::mem::size_of_val(&buf);
+            // SAFETY: buf is `want` writable bytes; fd is open.
+            let got = unsafe { read(self.fds[0], buf.as_mut_ptr() as *mut c_void, want) };
+            if got < 0 {
+                return Err(format!("read: {}", std::io::Error::last_os_error()));
+            }
+            let nr = buf[0] as usize;
+            if nr != HwCounter::COUNT || (got as usize) < want {
+                return Err(format!("short group read: nr={nr}, {got} bytes"));
+            }
+            let mut counts = [0u64; HwCounter::COUNT];
+            counts.copy_from_slice(&buf[3..3 + HwCounter::COUNT]);
+            Ok(RawSample {
+                time_enabled_ns: buf[1],
+                time_running_ns: buf[2],
+                counts,
+            })
+        }
+    }
+
+    impl Drop for PerfGroup {
+        fn drop(&mut self) {
+            for &fd in self.fds.iter().rev() {
+                if fd >= 0 {
+                    // SAFETY: fd was returned by perf_event_open and is
+                    // closed exactly once (members before the leader).
+                    unsafe {
+                        close(fd);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod stub {
+    use super::RawSample;
+
+    /// Non-Linux stand-in: opening always fails, so the crate degrades
+    /// to timing-only exactly as it does under `perf_event_paranoid`.
+    pub struct PerfGroup {
+        _private: (),
+    }
+
+    impl PerfGroup {
+        pub fn open() -> Result<PerfGroup, String> {
+            Err(format!(
+                "perf_event_open is Linux-only (this is {})",
+                std::env::consts::OS
+            ))
+        }
+
+        pub fn read_sample(&self) -> Result<RawSample, String> {
+            Err("no counters on this platform".to_string())
+        }
+    }
+}

@@ -42,4 +42,4 @@ pub use pool::{ForContext, ThreadPool};
 pub use schedule::{Chunk, Schedule, StaticChunks};
 pub use slice::DisjointSlice;
 pub use stats::RegionStats;
-pub use topology::{CacheInfo, CpuTopology, PinPolicy, Placement};
+pub use topology::{CacheInfo, CacheSource, CpuTopology, PinPolicy, Placement};

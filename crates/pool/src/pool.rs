@@ -184,12 +184,21 @@ impl ThreadPool {
                     while let Ok(msg) = rx.recv() {
                         match msg {
                             Msg::Run(job) => {
-                                let result = catch_unwind(AssertUnwindSafe(|| {
-                                    // SAFETY: the coordinator keeps the
-                                    // closure alive until `finish_one` has
-                                    // been called by every worker.
-                                    unsafe { (job.call)(job.data, tid) }
-                                }));
+                                let result = {
+                                    // Hardware-counter scope around the
+                                    // region body (no-op unless profiling
+                                    // is enabled); dropped before
+                                    // `finish_one` so the coordinator
+                                    // never observes a half-recorded
+                                    // region.
+                                    let _hw = perfport_obs::thread_scope();
+                                    catch_unwind(AssertUnwindSafe(|| {
+                                        // SAFETY: the coordinator keeps the
+                                        // closure alive until `finish_one` has
+                                        // been called by every worker.
+                                        unsafe { (job.call)(job.data, tid) }
+                                    }))
+                                };
                                 if result.is_err() {
                                     job.state.panicked.store(true, Ordering::Release);
                                 }

@@ -10,6 +10,29 @@
 use std::fmt;
 use std::sync::OnceLock;
 
+/// Where a [`CacheInfo`]'s capacities came from — recorded so bench
+/// manifests can disclose whether packing blocks were sized from the
+/// real hierarchy or from the documented defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheSource {
+    /// All three levels read from `/sys/devices/system/cpu/cpu0/cache`.
+    Sysfs,
+    /// The documented [`CacheInfo::DEFAULT`] capacities (non-Linux hosts,
+    /// VMs/containers with missing or partial `index*` entries, or an
+    /// explicit construction).
+    #[default]
+    Defaults,
+}
+
+impl fmt::Display for CacheSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheSource::Sysfs => write!(f, "sysfs"),
+            CacheSource::Defaults => write!(f, "defaults"),
+        }
+    }
+}
+
 /// Per-core / shared cache capacities, used to size the packing blocks of
 /// cache-aware kernels (`perfport-gemm::tuned`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +43,8 @@ pub struct CacheInfo {
     pub l2_bytes: usize,
     /// Shared last-level cache, bytes.
     pub l3_bytes: usize,
+    /// Where these capacities came from.
+    pub source: CacheSource,
 }
 
 impl CacheInfo {
@@ -30,13 +55,22 @@ impl CacheInfo {
         l1d_bytes: 32 * 1024,
         l2_bytes: 512 * 1024,
         l3_bytes: 16 * 1024 * 1024,
+        source: CacheSource::Defaults,
     };
 
-    /// The build host's caches, read once from sysfs on Linux; falls back
-    /// to [`CacheInfo::DEFAULT`] where the information is unavailable.
+    /// The build host's caches, read once from sysfs on Linux.
+    ///
+    /// Detection is all-or-nothing: unless *every* level (L1d, L2, L3)
+    /// is present in sysfs, the whole [`CacheInfo::DEFAULT`] set is used
+    /// and `source` says so — a partially-populated hierarchy (common in
+    /// VMs and containers that virtualise only some `index*` entries)
+    /// would otherwise silently mix real and default capacities into one
+    /// inconsistent blocking decision.
     pub fn host() -> CacheInfo {
         static HOST: OnceLock<CacheInfo> = OnceLock::new();
-        *HOST.get_or_init(detect_host_caches)
+        *HOST.get_or_init(|| {
+            detect_caches_at(std::path::Path::new("/sys/devices/system/cpu/cpu0/cache"))
+        })
     }
 }
 
@@ -51,9 +85,12 @@ fn parse_cache_size(s: &str) -> Option<usize> {
     digits.parse::<usize>().ok().map(|v| v * mult)
 }
 
-fn detect_host_caches() -> CacheInfo {
-    let mut info = CacheInfo::DEFAULT;
-    let base = std::path::Path::new("/sys/devices/system/cpu/cpu0/cache");
+/// Reads the cache hierarchy below `base` (an `.../cpu0/cache` sysfs
+/// directory). Returns sysfs capacities only when all three levels were
+/// found; anything partial falls back to the full documented defaults
+/// (see [`CacheInfo::host`]).
+fn detect_caches_at(base: &std::path::Path) -> CacheInfo {
+    let mut sizes = [None::<usize>; 3];
     for idx in 0..6 {
         let dir = base.join(format!("index{idx}"));
         let read = |name: &str| std::fs::read_to_string(dir.join(name)).ok();
@@ -66,13 +103,21 @@ fn detect_host_caches() -> CacheInfo {
         };
         let ty = ty.trim();
         match (level.trim(), ty) {
-            ("1", "Data") | ("1", "Unified") => info.l1d_bytes = bytes,
-            ("2", "Data") | ("2", "Unified") => info.l2_bytes = bytes,
-            ("3", "Data") | ("3", "Unified") => info.l3_bytes = bytes,
+            ("1", "Data") | ("1", "Unified") => sizes[0] = Some(bytes),
+            ("2", "Data") | ("2", "Unified") => sizes[1] = Some(bytes),
+            ("3", "Data") | ("3", "Unified") => sizes[2] = Some(bytes),
             _ => {}
         }
     }
-    info
+    match sizes {
+        [Some(l1d), Some(l2), Some(l3)] => CacheInfo {
+            l1d_bytes: l1d,
+            l2_bytes: l2,
+            l3_bytes: l3,
+            source: CacheSource::Sysfs,
+        },
+        _ => CacheInfo::DEFAULT,
+    }
 }
 
 /// Physical CPU topology relevant to thread placement.
@@ -244,6 +289,7 @@ mod tests {
             l1d_bytes: 64 * 1024,
             l2_bytes: 1024 * 1024,
             l3_bytes: 32 * 1024 * 1024,
+            source: CacheSource::Defaults,
         };
         let t = CpuTopology::flat(8).with_cache(cache);
         assert_eq!(t.cache, cache);
@@ -254,6 +300,82 @@ mod tests {
         assert!(host.l2_bytes >= host.l1d_bytes);
         assert!(host.l3_bytes >= host.l2_bytes);
         assert_eq!(CpuTopology::host(4).cache, host);
+        // Either way the struct says where the numbers came from.
+        match host.source {
+            CacheSource::Sysfs => assert_ne!(host, CacheInfo::DEFAULT),
+            CacheSource::Defaults => {
+                assert_eq!(host.l1d_bytes, CacheInfo::DEFAULT.l1d_bytes)
+            }
+        }
+    }
+
+    /// Builds a synthetic sysfs cache directory: one `index<i>` entry per
+    /// `(level, type, size)` triple.
+    fn fake_sysfs(dir: &std::path::Path, entries: &[(&str, &str, &str)]) {
+        for (i, (level, ty, size)) in entries.iter().enumerate() {
+            let d = dir.join(format!("index{i}"));
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("level"), format!("{level}\n")).unwrap();
+            std::fs::write(d.join("type"), format!("{ty}\n")).unwrap();
+            std::fs::write(d.join("size"), format!("{size}\n")).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_sysfs_hierarchy_is_detected() {
+        let dir = std::env::temp_dir().join("perfport-cache-full");
+        let _ = std::fs::remove_dir_all(&dir);
+        fake_sysfs(
+            &dir,
+            &[
+                ("1", "Data", "48K"),
+                ("1", "Instruction", "32K"),
+                ("2", "Unified", "1024K"),
+                ("3", "Unified", "32M"),
+            ],
+        );
+        let info = detect_caches_at(&dir);
+        assert_eq!(info.source, CacheSource::Sysfs);
+        assert_eq!(info.l1d_bytes, 48 * 1024);
+        assert_eq!(info.l2_bytes, 1024 * 1024);
+        assert_eq!(info.l3_bytes, 32 * 1024 * 1024);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_sysfs_falls_back_to_full_defaults() {
+        // A container that virtualises only L1/L2 entries: the detector
+        // must not hand back a half-real, half-default hierarchy.
+        let dir = std::env::temp_dir().join("perfport-cache-partial");
+        let _ = std::fs::remove_dir_all(&dir);
+        fake_sysfs(&dir, &[("1", "Data", "48K"), ("2", "Unified", "1024K")]);
+        let info = detect_caches_at(&dir);
+        assert_eq!(info, CacheInfo::DEFAULT);
+        assert_eq!(info.source, CacheSource::Defaults);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_sysfs_falls_back_to_full_defaults() {
+        let dir = std::env::temp_dir().join("perfport-cache-missing/nope");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(detect_caches_at(&dir), CacheInfo::DEFAULT);
+    }
+
+    #[test]
+    fn unparsable_sysfs_size_falls_back_to_full_defaults() {
+        let dir = std::env::temp_dir().join("perfport-cache-bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        fake_sysfs(
+            &dir,
+            &[
+                ("1", "Data", "weird"),
+                ("2", "Unified", "1024K"),
+                ("3", "Unified", "32M"),
+            ],
+        );
+        assert_eq!(detect_caches_at(&dir), CacheInfo::DEFAULT);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -163,6 +163,25 @@ pub fn counter(cat: &'static str, name: impl Into<String>, value: f64) {
     }
 }
 
+/// Records one counter event carrying several named series — a
+/// multi-series counter track in Chrome terms (all keys plot on one
+/// track), one JSONL line, and per-key statistics in the text summary
+/// (`cat:name.key`; a key named `"value"` keeps the plain `cat:name`).
+///
+/// This is the namespace hardware-counter deltas use: `perfport-obs`
+/// emits `("hw", "counters", [("cycles", …), ("instructions", …), …])`
+/// per measured scope, and all three exporters carry it with no extra
+/// plumbing.
+pub fn counter_set(cat: &'static str, name: impl Into<String>, values: &[(&str, f64)]) {
+    if let Some(collector) = current() {
+        let args = values
+            .iter()
+            .map(|&(k, v)| (k.to_string(), Value::F64(v)))
+            .collect();
+        collector.record(EventKind::Counter, cat, name.into(), args);
+    }
+}
+
 /// Records an instantaneous event with arguments.
 pub fn instant(cat: &'static str, name: impl Into<String>, args: Vec<(String, Value)>) {
     if let Some(collector) = current() {

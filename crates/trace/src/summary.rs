@@ -113,11 +113,26 @@ pub fn render(events: &[Event]) -> String {
                 }
             }
             EventKind::Counter => {
-                let v = e.arg("value").and_then(|v| v.as_f64()).unwrap_or(f64::NAN);
-                counters
-                    .entry(format!("{}:{}", e.cat, e.name))
-                    .or_default()
-                    .add(v);
+                // Single-valued counters use the key "value" and keep the
+                // plain `cat:name`; multi-series counters (counter_set)
+                // get one statistics row per series, `cat:name.key`.
+                let mut recorded = false;
+                for (k, v) in &e.args {
+                    let Some(x) = v.as_f64() else { continue };
+                    let key = if k == "value" {
+                        format!("{}:{}", e.cat, e.name)
+                    } else {
+                        format!("{}:{}.{}", e.cat, e.name, k)
+                    };
+                    counters.entry(key).or_default().add(x);
+                    recorded = true;
+                }
+                if !recorded {
+                    counters
+                        .entry(format!("{}:{}", e.cat, e.name))
+                        .or_default()
+                        .add(f64::NAN);
+                }
             }
             EventKind::Instant => {}
         }

@@ -152,6 +152,60 @@ fn unsupported_combinations_are_exactly_the_papers() {
 }
 
 #[test]
+fn hardware_profiling_is_observation_only() {
+    // The perfport-obs contract: enabling counter collection must not
+    // change a single result bit. Run the real host kernels (naive and
+    // tuned, through the pool whose workers carry the counter scopes)
+    // with profiling off, then on, and compare outputs bit-for-bit.
+    // This holds whether counters are actually available (scopes read
+    // real groups) or not (scopes are inert) — both paths are exercised
+    // depending on the machine running the suite.
+    use perfport::gemm::{par_gemm, tuned, CpuVariant, Layout, Matrix};
+    use perfport::pool::{Schedule, ThreadPool};
+
+    let n = 96;
+    let pool = ThreadPool::new(4);
+    let a = Matrix::<f64>::random(n, n, Layout::RowMajor, 11);
+    let b = Matrix::<f64>::random(n, n, Layout::RowMajor, 12);
+    let params = tuned::TunedParams::host::<f64>();
+
+    let run_both = || {
+        let mut c_naive = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+        par_gemm(
+            &pool,
+            CpuVariant::OpenMpC,
+            &a,
+            &b,
+            &mut c_naive,
+            Schedule::StaticBlock,
+        );
+        let mut c_tuned = Matrix::<f64>::zeros(n, n, Layout::RowMajor);
+        tuned::gemm(&pool, &a, &b, &mut c_tuned, &params);
+        (c_naive, c_tuned)
+    };
+
+    perfport::obs::disable();
+    let (naive_off, tuned_off) = run_both();
+    let avail = perfport::obs::try_enable();
+    let (naive_on, tuned_on) = run_both();
+    perfport::obs::disable();
+
+    for (off, on, what) in [
+        (&naive_off, &naive_on, "naive"),
+        (&tuned_off, &tuned_on, "tuned"),
+    ] {
+        for (x, y) in off.as_slice().iter().zip(on.as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: profiling (counters {}) perturbed the results",
+                avail.manifest_str()
+            );
+        }
+    }
+}
+
+#[test]
 fn warmup_exclusion_reports_jit_costs() {
     let julia = run_experiment(&Experiment::new(
         Arch::A100,
