@@ -61,16 +61,30 @@ fn main() {
     };
     let base = load(base_path);
     let cand = load(cand_path);
+    let isa_of = |s: &Snapshot| s.simd_isa.clone().unwrap_or_else(|| "unknown".to_string());
     println!(
-        "baseline:  {base_path} ({}, {} points)",
+        "baseline:  {base_path} ({}, {} points, isa {})",
         base.schema,
-        base.points.len()
+        base.points.len(),
+        isa_of(&base)
     );
     println!(
-        "candidate: {cand_path} ({}, {} points)",
+        "candidate: {cand_path} ({}, {} points, isa {})",
         cand.schema,
-        cand.points.len()
+        cand.points.len(),
+        isa_of(&cand)
     );
+    if let (Some(bi), Some(ci)) = (&base.simd_isa, &cand.simd_isa) {
+        if bi != ci {
+            // Different dispatched microkernels are a legitimate A/B run
+            // (e.g. PERFPORT_SIMD=portable), but never a like-for-like
+            // regression gate — flag it loudly either way.
+            eprintln!(
+                "warning: snapshots were produced by different tuned-kernel ISAs \
+                 ({bi} vs {ci}); differences below include the microkernel change"
+            );
+        }
+    }
 
     let entries = diff(&base, &cand, &cfg);
     if entries.is_empty() {

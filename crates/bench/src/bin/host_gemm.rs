@@ -282,12 +282,13 @@ fn main() {
     let pool = ThreadPool::new(workers);
     let manifest = Manifest::collect(workers);
     println!(
-        "host: {workers} workers; caches L1d={}K L2={}K L3={}K ({}); {reps} reps after warm-up; counters {}\n",
+        "host: {workers} workers; caches L1d={}K L2={}K L3={}K ({}); {reps} reps after warm-up; counters {}; tuned microkernel ISA: {}\n",
         manifest.cache.l1d_bytes / 1024,
         manifest.cache.l2_bytes / 1024,
         manifest.cache.l3_bytes / 1024,
         manifest.cache.source,
-        manifest.counters
+        manifest.counters,
+        manifest.simd_isa
     );
 
     if !args.quick {

@@ -41,6 +41,10 @@ pub struct Snapshot {
     pub schema: String,
     /// Whether the producing run was `--quick`.
     pub quick: bool,
+    /// SIMD ISA the producing run's tuned kernel dispatched to, from the
+    /// embedded manifest's `simd_isa` field (`/2` snapshots produced
+    /// since the dispatcher landed); `None` for older files.
+    pub simd_isa: Option<String>,
     /// All recorded points, in file order.
     pub points: Vec<SnapshotPoint>,
 }
@@ -116,6 +120,11 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         return Err(format!("not a bench snapshot: schema '{schema}'"));
     }
     let quick = doc.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    let simd_isa = doc
+        .get("manifest")
+        .and_then(|m| m.get("simd_isa"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
     let points = doc
         .get("points")
         .and_then(Json::as_array)
@@ -126,6 +135,7 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     Ok(Snapshot {
         schema,
         quick,
+        simd_isa,
         points,
     })
 }
@@ -264,6 +274,18 @@ mod tests {
         assert!(v2.quick);
         assert_eq!(v2.points[0].gflops["julia"], 4.0);
         assert_eq!(v2.points[0].spread["julia"], 0.08);
+    }
+
+    #[test]
+    fn simd_isa_is_read_from_the_manifest_when_present() {
+        assert_eq!(parse_snapshot(V2).unwrap().simd_isa, None);
+        let with_manifest = V2.replacen(
+            "\"quick\": true,",
+            "\"quick\": true,\n      \"manifest\": {\"schema\": \"perfport-manifest/1\", \"simd_isa\": \"avx512\"},",
+            1,
+        );
+        let snap = parse_snapshot(&with_manifest).unwrap();
+        assert_eq!(snap.simd_isa.as_deref(), Some("avx512"));
     }
 
     #[test]

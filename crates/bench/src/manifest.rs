@@ -32,6 +32,11 @@ pub struct Manifest {
     pub os: String,
     /// ISA (`std::env::consts::ARCH`).
     pub arch: String,
+    /// SIMD instruction set the tuned GEMM microkernel dispatched to for
+    /// this process (`perfport_gemm::simd::active`): `"avx512"`,
+    /// `"avx2"`, `"neon"`, or `"portable"`. Reflects any `PERFPORT_SIMD`
+    /// override in effect.
+    pub simd_isa: String,
     /// Worker-team size of the run.
     pub threads: usize,
     /// Detected cache hierarchy (carries its own provenance in
@@ -102,6 +107,7 @@ impl Manifest {
             cpu_model: cpu_model(),
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
+            simd_isa: perfport_gemm::simd::active().name().to_string(),
             threads,
             cache: CacheInfo::host(),
             counters: perfport_obs::probe().manifest_str(),
@@ -127,6 +133,7 @@ impl Manifest {
             esc(&self.arch),
             self.threads
         );
+        let _ = writeln!(out, "{pad}  \"simd_isa\": \"{}\",", esc(&self.simd_isa));
         let _ = writeln!(
             out,
             "{pad}  \"cache\": {{\"l1d_bytes\": {}, \"l2_bytes\": {}, \"l3_bytes\": {}, \"source\": \"{}\"}},",
@@ -149,6 +156,7 @@ impl Manifest {
             ("cpu_model".to_string(), Value::Str(self.cpu_model.clone())),
             ("os".to_string(), Value::Str(self.os.clone())),
             ("arch".to_string(), Value::Str(self.arch.clone())),
+            ("simd_isa".to_string(), Value::Str(self.simd_isa.clone())),
             ("threads".to_string(), Value::from(self.threads)),
             ("l1d_bytes".to_string(), Value::from(self.cache.l1d_bytes)),
             ("l2_bytes".to_string(), Value::from(self.cache.l2_bytes)),
@@ -186,6 +194,7 @@ mod tests {
             cpu_model: "Imaginary CPU \"X\"".to_string(),
             os: "linux".to_string(),
             arch: "x86_64".to_string(),
+            simd_isa: "avx2".to_string(),
             threads: 16,
             cache: CacheInfo::DEFAULT,
             counters: "unavailable (perf_event_paranoid=3)".to_string(),
@@ -195,6 +204,7 @@ mod tests {
         let doc = perfport_trace::json::parse(&text).expect("manifest must be valid JSON");
         assert_eq!(doc.get("schema").unwrap().as_str(), Some(MANIFEST_SCHEMA));
         assert_eq!(doc.get("git_sha").unwrap().as_str(), Some("abc123"));
+        assert_eq!(doc.get("simd_isa").unwrap().as_str(), Some("avx2"));
         assert_eq!(
             doc.get("cpu_model").unwrap().as_str(),
             Some("Imaginary CPU \"X\"")
@@ -218,8 +228,30 @@ mod tests {
         let m = Manifest::collect(2);
         let args = m.trace_args();
         let keys: Vec<&str> = args.iter().map(|(k, _)| k.as_str()).collect();
-        for key in ["git_sha", "rustc", "cpu_model", "counters", "threads"] {
+        for key in [
+            "git_sha",
+            "rustc",
+            "cpu_model",
+            "counters",
+            "threads",
+            "simd_isa",
+        ] {
             assert!(keys.contains(&key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn simd_isa_round_trips_through_json_and_names_a_real_isa() {
+        // The collected value must be a name the dispatcher itself
+        // understands, and must survive the JSON round trip verbatim.
+        let m = Manifest::collect(1);
+        let named = perfport_gemm::Isa::from_name(&m.simd_isa);
+        assert!(named.is_some(), "unknown simd_isa {:?}", m.simd_isa);
+        let doc = perfport_trace::json::parse(&m.to_json(0)).expect("valid JSON");
+        assert_eq!(
+            doc.get("simd_isa").unwrap().as_str(),
+            Some(m.simd_isa.as_str())
+        );
+        assert_eq!(named, Some(perfport_gemm::simd::active()));
     }
 }

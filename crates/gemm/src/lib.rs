@@ -20,7 +20,32 @@
 //! * [`tuned`] — the packed, register-tiled, cache-blocked kernel standing
 //!   in for the vendor BLAS: the measured baseline Table III's host
 //!   efficiencies divide by;
+//! * [`simd`] — the explicit AVX2+FMA / AVX-512 / NEON microkernels the
+//!   tuned kernel dispatches to at runtime (portable autovectorized
+//!   fallback included), overridable via `PERFPORT_SIMD`;
 //! * [`verify`] — numerical verification against an `f64` reference.
+//!
+//! # Example
+//!
+//! Multiply two random matrices with the tuned (vendor stand-in) kernel
+//! and verify against the `f64` reference:
+//!
+//! ```
+//! use perfport_gemm::{tuned, Layout, Matrix};
+//!
+//! let (m, k, n) = (33, 17, 29);
+//! let a = Matrix::<f32>::random(m, k, Layout::RowMajor, 1);
+//! let b = Matrix::<f32>::random(k, n, Layout::RowMajor, 2);
+//! let mut c = Matrix::<f32>::zeros(m, n, Layout::RowMajor);
+//!
+//! let params = tuned::TunedParams::host::<f32>();
+//! tuned::gemm_serial(&a, &b, &mut c, &params, &mut tuned::PackArena::new());
+//!
+//! let max_rel_err = perfport_gemm::verify_gemm(&a, &b, &c).expect("tuned GEMM verifies");
+//! assert!(max_rel_err < 1e-4);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod gpu;
 pub mod gpu_tiled;
@@ -29,6 +54,7 @@ pub mod parallel;
 pub mod portable;
 pub mod scalar;
 pub mod serial;
+pub mod simd;
 pub mod tuned;
 pub mod variants;
 pub mod verify;
@@ -42,6 +68,7 @@ pub use scalar::Scalar;
 pub use serial::{
     gemm_arithmetic_intensity, gemm_flops, gemm_min_bytes, gemm_reference_f64, LoopOrder,
 };
+pub use simd::Isa;
 pub use tuned::{BlockSizes, PackArena, TileShape, TunedParams, TunedStats};
 pub use variants::CpuVariant;
 pub use verify::{max_abs_error, max_rel_error, verify_gemm, Tolerance};

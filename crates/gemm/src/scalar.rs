@@ -29,6 +29,11 @@ pub trait Scalar:
     const NAME: &'static str;
     /// Bytes per element (drives the bandwidth side of the roofline).
     const BYTES: usize;
+    /// Bytes per element *inside packed GEMM panels*. Equal to
+    /// [`Scalar::BYTES`] for hardware floats; the software [`F16`] packs
+    /// widened to `f32` (4 bytes) so the contraction runs a native
+    /// microkernel — see `perfport_gemm::tuned` for the scheme.
+    const PACK_BYTES: usize = Self::BYTES;
     /// Significand bits including the implicit bit.
     const MANTISSA_DIGITS: u32;
 
@@ -117,6 +122,8 @@ impl Scalar for f32 {
 impl Scalar for F16 {
     const NAME: &'static str = "FP16";
     const BYTES: usize = 2;
+    // Packed panels hold the f32 widening of each half value.
+    const PACK_BYTES: usize = 4;
     const MANTISSA_DIGITS: u32 = 11;
 
     #[inline]
@@ -188,6 +195,13 @@ mod tests {
         assert_eq!(F16::NAME, "FP16");
         assert_eq!(F16::BYTES, 2);
         const { assert!(F16::SUPPORTS_RANDOM_FILL) };
+    }
+
+    #[test]
+    fn pack_bytes_widen_only_for_f16() {
+        assert_eq!(f64::PACK_BYTES, 8);
+        assert_eq!(f32::PACK_BYTES, 4);
+        assert_eq!(F16::PACK_BYTES, 4);
     }
 
     #[test]

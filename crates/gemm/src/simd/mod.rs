@@ -1,0 +1,434 @@
+//! Explicit SIMD microkernels with runtime ISA dispatch.
+//!
+//! The tuned kernel's inner loop ([`crate::tuned`]) historically relied on
+//! LLVM autovectorising a const-generic scalar tile. That leaves measurable
+//! headroom against a hand-vectorised vendor BLAS, chiefly because the
+//! portable tile must avoid [`Scalar::mul_add`] (on targets without an FMA
+//! instruction it lowers to a libm call), so it pays two roundings and two
+//! instructions per multiply-accumulate. This module provides explicit
+//! `std::arch` microkernels that issue genuine FMA vector instructions:
+//!
+//! * **x86-64 AVX2+FMA** — 256-bit lanes, `f64`/`f32` ([`x86`]);
+//! * **x86-64 AVX-512F** — 512-bit lanes for `f64` (the `f32` path keeps
+//!   256-bit kernels: none of the supported [`crate::tuned::TileShape`]s reaches the 16
+//!   lanes a 512-bit `f32` vector needs, and 256-bit operation also avoids
+//!   the classic AVX-512 frequency-license penalty on many parts);
+//! * **aarch64 NEON** — 128-bit lanes, `f64`/`f32`, compiled only on
+//!   aarch64 (the `neon` submodule);
+//! * **portable** — the original autovectorized scalar tile, always
+//!   available and always the reference ([`portable`]).
+//!
+//! # Dispatch contract
+//!
+//! The ISA is chosen **once per process** — [`active`] probes the CPU via
+//! `is_x86_feature_detected!` (resp. the aarch64 equivalent) on first use
+//! and caches the verdict — so every tuned GEMM in a process, serial or
+//! parallel, runs the *same* microkernel. That preserves the tuned
+//! kernel's serial≡parallel bitwise guarantee *per dispatched kernel*:
+//! results never depend on which worker owns a row block, only (across
+//! ISAs) on the kernel the whole process dispatched to.
+//!
+//! A SIMD kernel is used only when the register tile qualifies: the tile
+//! width `NR` must be a multiple of the vector lane count for the element
+//! type (e.g. 4 lanes for `f64` on AVX2). Non-qualifying tiles — including
+//! everything the ablation sweeps beyond the default — fall back to the
+//! portable tile via [`select`]. Ragged edge tiles need no special case at
+//! this level: the packing routines zero-pad micropanels to full `MR`/`NR`
+//! extent, so a microkernel always computes a full tile.
+//!
+//! # FMA-contraction caveat
+//!
+//! The SIMD kernels accumulate with fused multiply-add: each
+//! multiply-accumulate rounds **once**, where the portable kernel rounds
+//! twice. Per element of `C` the accumulation *order* is identical (the
+//! `Kc` blocking fixes it), but the roundings differ, so SIMD and portable
+//! results — and results across different ISAs — are not bitwise equal.
+//! The difference is bounded by the forward-error tolerance in
+//! [`crate::verify::Tolerance::for_gemm`] (FMA can only reduce the error
+//! of each partial product), which the cross-kernel property tests assert
+//! for every supported tile shape. Anything comparing results across
+//! *processes* (snapshot diffs, committed baselines) must therefore treat
+//! the dispatched ISA as part of the run's provenance; `perfport-bench`
+//! records it in every run manifest.
+//!
+//! # Forcing a kernel: `PERFPORT_SIMD`
+//!
+//! The `PERFPORT_SIMD` environment variable overrides detection for A/B
+//! runs: `portable` forces the fallback tile, `avx2` / `avx512` / `neon`
+//! request a specific ISA (honoured only if the CPU supports it — an
+//! unavailable request degrades to the best available ISA with a note on
+//! stderr, never to an illegal-instruction fault), and `auto` (or unset)
+//! detects. The decision is queryable via [`active`] and is stamped into
+//! bench manifests and trace metadata.
+//!
+//! ```
+//! use perfport_gemm::simd::{self, Isa};
+//!
+//! // Whatever the process dispatched to, it is one of the known ISAs and
+//! // it is available on this CPU.
+//! let isa = simd::active();
+//! assert!(isa.available());
+//! assert!(Isa::ALL.contains(&isa));
+//! ```
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+use crate::scalar::Scalar;
+use std::any::TypeId;
+use std::sync::OnceLock;
+
+/// The instruction sets the dispatcher can select between.
+///
+/// Variants for foreign architectures exist on every build (so manifests
+/// and diffs can always *name* them) but are only ever [`available`]
+/// (and thus dispatched) on their own architecture.
+///
+/// [`available`]: Isa::available
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// x86-64 AVX-512F: 512-bit lanes for `f64`, 256-bit for `f32`.
+    Avx512,
+    /// x86-64 AVX2 + FMA: 256-bit lanes.
+    Avx2,
+    /// aarch64 NEON/ASIMD: 128-bit lanes.
+    Neon,
+    /// The autovectorized const-generic scalar tile; every target.
+    Portable,
+}
+
+impl Isa {
+    /// Every ISA the dispatcher knows, best first. [`detect`] returns the
+    /// first available entry, so order encodes preference.
+    ///
+    /// [`detect`]: Isa::detect
+    pub const ALL: [Isa; 4] = [Isa::Avx512, Isa::Avx2, Isa::Neon, Isa::Portable];
+
+    /// The identifier used in manifests, traces, and `PERFPORT_SIMD`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Avx512 => "avx512",
+            Isa::Avx2 => "avx2",
+            Isa::Neon => "neon",
+            Isa::Portable => "portable",
+        }
+    }
+
+    /// Parses a [`Isa::name`] string (as accepted by `PERFPORT_SIMD`).
+    pub fn from_name(name: &str) -> Option<Isa> {
+        Isa::ALL.into_iter().find(|isa| isa.name() == name)
+    }
+
+    /// Whether this CPU can execute this ISA's microkernels.
+    pub fn available(self) -> bool {
+        match self {
+            Isa::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            _ => false,
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            _ => false,
+        }
+    }
+
+    /// The best ISA this CPU supports (ignores the environment override).
+    pub fn detect() -> Isa {
+        Isa::ALL
+            .into_iter()
+            .find(|isa| isa.available())
+            .unwrap_or(Isa::Portable)
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resolves the `PERFPORT_SIMD` override against what the CPU supports.
+/// Separated from [`active`] so it is testable without process-global
+/// state; `quiet` suppresses the degradation note.
+fn resolve(request: Option<&str>, quiet: bool) -> Isa {
+    let detected = Isa::detect();
+    let Some(request) = request else {
+        return detected;
+    };
+    let request = request.trim();
+    if request.is_empty() || request == "auto" {
+        return detected;
+    }
+    match Isa::from_name(request) {
+        Some(isa) if isa.available() => isa,
+        Some(isa) => {
+            if !quiet {
+                eprintln!(
+                    "perfport-gemm: PERFPORT_SIMD={isa} is not available on this CPU; \
+                     using {detected}"
+                );
+            }
+            detected
+        }
+        None => {
+            if !quiet {
+                eprintln!(
+                    "perfport-gemm: unknown PERFPORT_SIMD value '{request}' \
+                     (expected auto|portable|avx2|avx512|neon); using {detected}"
+                );
+            }
+            detected
+        }
+    }
+}
+
+/// The ISA every tuned GEMM in this process dispatches to.
+///
+/// Decided once, on first call: the `PERFPORT_SIMD` override if set and
+/// available, otherwise the best ISA the CPU supports. See the module
+/// docs for the contract this one-shot decision upholds.
+pub fn active() -> Isa {
+    static ACTIVE: OnceLock<Isa> = OnceLock::new();
+    *ACTIVE.get_or_init(|| resolve(std::env::var("PERFPORT_SIMD").ok().as_deref(), false))
+}
+
+/// A microkernel: `kb`-deep contraction of zero-padded `MR`-row /
+/// `NR`-column micropanels into an `MR×NR` accumulator tile.
+///
+/// `ap` holds `kb` groups of `MR` consecutive `A` values, `bp` holds `kb`
+/// groups of `NR` consecutive `B` values (the packed layouts produced in
+/// `crate::tuned`). Implementations panic if a panel is shorter than the
+/// contraction requires.
+pub type Microkernel<T, const MR: usize, const NR: usize> = fn(usize, &[T], &[T]) -> [[T; NR]; MR];
+
+/// The portable reference microkernel: an autovectorized scalar tile.
+///
+/// Products are accumulated with separate multiply and add (not
+/// [`Scalar::mul_add`]) because on baseline targets without an FMA
+/// instruction `mul_add` lowers to a libm call that defeats
+/// vectorisation. With `MR`/`NR` known at compile time LLVM unrolls the
+/// tile fully and keeps the accumulator in vector registers.
+pub fn portable<T: Scalar, const MR: usize, const NR: usize>(
+    kb: usize,
+    ap: &[T],
+    bp: &[T],
+) -> [[T; NR]; MR] {
+    assert!(
+        ap.len() >= kb * MR && bp.len() >= kb * NR,
+        "panel too short"
+    );
+    let mut acc = [[T::zero(); NR]; MR];
+    for p in 0..kb {
+        let arow = &ap[p * MR..p * MR + MR];
+        let brow = &bp[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let av = arow[r];
+            for c in 0..NR {
+                acc[r][c] += av * brow[c];
+            }
+        }
+    }
+    acc
+}
+
+/// Reinterprets a concrete microkernel as the generic signature, checked
+/// by the caller's `TypeId` comparison.
+///
+/// # Safety
+///
+/// `T` and `U` must be the same type (the function pointer is only
+/// transmuted between two spellings of one signature).
+unsafe fn cast_kernel<T: Scalar, U: Scalar, const MR: usize, const NR: usize>(
+    f: Microkernel<U, MR, NR>,
+) -> Microkernel<T, MR, NR> {
+    debug_assert_eq!(TypeId::of::<T>(), TypeId::of::<U>());
+    // SAFETY: caller guarantees T == U, so both function-pointer types
+    // name the identical ABI.
+    unsafe { std::mem::transmute::<Microkernel<U, MR, NR>, Microkernel<T, MR, NR>>(f) }
+}
+
+/// The native microkernel `isa` provides for element type `T` and tile
+/// `MR×NR`, or `None` when the combination has no native implementation
+/// (foreign ISA, unsupported lane multiple, or the software-half type,
+/// which the tuned driver widens to `f32` before it ever reaches a
+/// microkernel).
+fn native<T: Scalar, const MR: usize, const NR: usize>(isa: Isa) -> Option<Microkernel<T, MR, NR>> {
+    let is_f64 = TypeId::of::<T>() == TypeId::of::<f64>();
+    let is_f32 = TypeId::of::<T>() == TypeId::of::<f32>();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_f64 {
+            if isa == Isa::Avx512 && NR.is_multiple_of(8) {
+                // SAFETY: T == f64.
+                return Some(unsafe { cast_kernel(x86::f64_avx512::<MR, NR>) });
+            }
+            if matches!(isa, Isa::Avx512 | Isa::Avx2) && NR.is_multiple_of(4) {
+                // SAFETY: T == f64. (AVX-512F implies AVX2+FMA, so the
+                // 256-bit kernel is legal under either verdict.)
+                return Some(unsafe { cast_kernel(x86::f64_avx2::<MR, NR>) });
+            }
+        }
+        if is_f32 && matches!(isa, Isa::Avx512 | Isa::Avx2) && NR.is_multiple_of(8) {
+            // SAFETY: T == f32.
+            return Some(unsafe { cast_kernel(x86::f32_avx2::<MR, NR>) });
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if isa == Isa::Neon {
+            if is_f64 && NR.is_multiple_of(2) {
+                // SAFETY: T == f64.
+                return Some(unsafe { cast_kernel(neon::f64_neon::<MR, NR>) });
+            }
+            if is_f32 && NR.is_multiple_of(4) {
+                // SAFETY: T == f32.
+                return Some(unsafe { cast_kernel(neon::f32_neon::<MR, NR>) });
+            }
+        }
+    }
+    let _ = (is_f64, is_f32, isa);
+    None
+}
+
+/// Selects the microkernel `isa` provides for element type `T` and tile
+/// `MR×NR`, falling back to [`portable`] whenever no native kernel exists
+/// for the combination (see the module docs for the qualification rules).
+///
+/// The returned function is safe to call only because selection is gated
+/// on [`Isa::available`]: callers must pass an available ISA (as
+/// [`active`] guarantees), and the debug assertion enforces it.
+pub fn select<T: Scalar, const MR: usize, const NR: usize>(isa: Isa) -> Microkernel<T, MR, NR> {
+    debug_assert!(isa.available(), "dispatching to unavailable ISA {isa}");
+    native::<T, MR, NR>(isa).unwrap_or(portable::<T, MR, NR>)
+}
+
+/// Whether `select::<T, MR, NR>(isa)` resolves to a native SIMD kernel
+/// (as opposed to the portable fallback). Drives test coverage and the
+/// "was SIMD actually used" honesty checks in the bench harness.
+pub fn is_native<T: Scalar, const MR: usize, const NR: usize>(isa: Isa) -> bool {
+    native::<T, MR, NR>(isa).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::from_name(isa.name()), Some(isa));
+            assert_eq!(isa.to_string(), isa.name());
+        }
+        assert_eq!(Isa::from_name("sse9"), None);
+    }
+
+    #[test]
+    fn detection_is_sane() {
+        // Portable is always available; detect() therefore always finds
+        // something, and whatever it finds must be executable here.
+        assert!(Isa::Portable.available());
+        assert!(Isa::detect().available());
+        assert!(active().available());
+        // Foreign-architecture ISAs are never available.
+        #[cfg(target_arch = "x86_64")]
+        assert!(!Isa::Neon.available());
+        #[cfg(target_arch = "aarch64")]
+        {
+            assert!(!Isa::Avx2.available());
+            assert!(!Isa::Avx512.available());
+        }
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        let detected = Isa::detect();
+        assert_eq!(resolve(None, true), detected);
+        assert_eq!(resolve(Some("auto"), true), detected);
+        assert_eq!(resolve(Some(""), true), detected);
+        assert_eq!(resolve(Some("portable"), true), Isa::Portable);
+        // Junk and unavailable requests degrade to detection, never fault.
+        assert_eq!(resolve(Some("avx9000"), true), detected);
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(resolve(Some("neon"), true), detected);
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(resolve(Some("avx2"), true), detected);
+    }
+
+    #[test]
+    fn portable_kernel_computes_the_tile() {
+        // kb=2 contraction with hand-checkable values.
+        let ap = [1.0f64, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let bp = [1.0f64, 0.5, 0.25, 0.125, 2.0, 1.0, 0.5, 0.25];
+        let acc = portable::<f64, 4, 4>(2, &ap, &bp);
+        // row 0: 1*b0 + 10*b1
+        assert_eq!(acc[0], [21.0, 10.5, 5.25, 2.625]);
+        // kb=0 yields the zero tile.
+        let zero = portable::<f64, 4, 4>(0, &[], &[]);
+        assert_eq!(zero, [[0.0; 4]; 4]);
+    }
+
+    #[test]
+    fn selection_respects_lane_multiples() {
+        // Portable ISA always selects the portable kernel.
+        assert!(!is_native::<f64, 4, 4>(Isa::Portable));
+        assert!(!is_native::<f32, 4, 8>(Isa::Portable));
+        #[cfg(target_arch = "x86_64")]
+        {
+            if Isa::Avx2.available() {
+                // f64 tiles are all 4-lane multiples; f32 needs NR % 8.
+                assert!(is_native::<f64, 4, 4>(Isa::Avx2));
+                assert!(is_native::<f64, 8, 4>(Isa::Avx2));
+                assert!(is_native::<f32, 4, 8>(Isa::Avx2));
+                assert!(!is_native::<f32, 4, 4>(Isa::Avx2));
+                // The software-half type never gets a native kernel (the
+                // tuned driver widens it to f32 first).
+                assert!(!is_native::<perfport_half::F16, 4, 8>(Isa::Avx2));
+            }
+            if Isa::Avx512.available() {
+                assert!(is_native::<f64, 8, 8>(Isa::Avx512));
+                assert!(is_native::<f64, 4, 4>(Isa::Avx512));
+                assert!(is_native::<f32, 8, 8>(Isa::Avx512));
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        if Isa::Neon.available() {
+            assert!(is_native::<f64, 4, 4>(Isa::Neon));
+            assert!(is_native::<f32, 4, 8>(Isa::Neon));
+        }
+    }
+
+    #[test]
+    fn native_kernels_match_portable_on_exact_products() {
+        // Products of small integers are exact at every precision, so
+        // native and portable kernels must agree bit-for-bit on them
+        // (FMA contraction cannot change an exact result).
+        for isa in Isa::ALL.into_iter().filter(|i| i.available()) {
+            let kb = 7;
+            let ap64: Vec<f64> = (0..kb * 8).map(|i| ((i % 11) as f64) - 5.0).collect();
+            let bp64: Vec<f64> = (0..kb * 8).map(|i| ((i % 7) as f64) * 0.5).collect();
+            let native = select::<f64, 8, 8>(isa)(kb, &ap64, &bp64);
+            let reference = portable::<f64, 8, 8>(kb, &ap64, &bp64);
+            assert_eq!(native, reference, "{isa} f64");
+            let ap32: Vec<f32> = ap64.iter().map(|&x| x as f32).collect();
+            let bp32: Vec<f32> = bp64.iter().map(|&x| x as f32).collect();
+            let native = select::<f32, 8, 8>(isa)(kb, &ap32, &bp32);
+            let reference = portable::<f32, 8, 8>(kb, &ap32, &bp32);
+            assert_eq!(native, reference, "{isa} f32");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panel too short")]
+    fn short_panels_panic() {
+        let _ = portable::<f64, 4, 4>(3, &[0.0; 4], &[0.0; 16]);
+    }
+}

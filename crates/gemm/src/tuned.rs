@@ -27,14 +27,27 @@
 //! and every worker packs into a thread-local [`PackArena`] that is
 //! reused across calls, so sweep loops do not reallocate per size point.
 //!
+//! The microkernel itself is dispatched **once per process** through
+//! [`crate::simd`]: explicit AVX2+FMA / AVX-512 / NEON register tiles
+//! when the CPU supports them (`PERFPORT_SIMD` overrides for A/B runs),
+//! the autovectorized const-generic tile otherwise. See the `simd`
+//! module docs for the dispatch contract and the FMA-contraction caveat.
+//!
 //! The result is generic over [`Scalar`]; `f32`/`f64` get their fast
 //! paths through monomorphisation (the accumulator tile and panel loads
-//! vectorise per element width). Accumulation order per element of `C`
-//! is a fixed function of the `Kc` blocking alone, so serial and
-//! parallel execution are bit-identical.
+//! vectorise per element width), while the software [`F16`] packs
+//! *widened*: the pack routines convert `f16 → f32` once per panel and
+//! the contraction runs the native `f32` microkernel, so the O(n³) inner
+//! loop never executes a software-half operation (each `C` element is
+//! re-rounded to `f16` once per `Kc` panel). Accumulation order per
+//! element of `C` is a fixed function of the `Kc` blocking alone, so
+//! serial and parallel execution are bit-identical per dispatched
+//! kernel.
 
 use crate::matrix::{Layout, Matrix};
 use crate::scalar::Scalar;
+use crate::simd::{self, Isa};
+use perfport_half::F16;
 use perfport_pool::{CacheInfo, DisjointSlice, RegionStats, Schedule, ThreadPool};
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
@@ -71,6 +84,31 @@ impl TileShape {
             TileShape { mr: 4, nr: 4 }
         } else {
             TileShape { mr: 4, nr: 8 }
+        }
+    }
+
+    /// Default tile for an element width under a dispatched ISA.
+    ///
+    /// The portable fallback keeps the conservative [`default_for`]
+    /// choice (the autovectorized accumulator must fit a baseline
+    /// x86-64's 16 xmm registers). Native kernels hold one accumulator
+    /// row in `NR·BYTES/width` registers, so they afford taller tiles:
+    /// 256-bit ISAs (AVX2, and NEON with four 128-bit accumulators per
+    /// row) take `8×4` for 8-byte elements and `8×8` for narrower ones;
+    /// AVX-512 takes `8×8` so an `f64` row is exactly one zmm register.
+    ///
+    /// [`default_for`]: TileShape::default_for
+    pub fn for_isa(isa: Isa, elem_bytes: usize) -> TileShape {
+        match isa {
+            Isa::Portable => Self::default_for(elem_bytes),
+            Isa::Avx2 | Isa::Neon => {
+                if elem_bytes >= 8 {
+                    TileShape { mr: 8, nr: 4 }
+                } else {
+                    TileShape { mr: 8, nr: 8 }
+                }
+            }
+            Isa::Avx512 => TileShape { mr: 8, nr: 8 },
         }
     }
 
@@ -126,9 +164,18 @@ pub struct TunedParams {
 }
 
 impl TunedParams {
-    /// Parameters for `T` on caches `cache` with the default tile.
+    /// Parameters for `T` on caches `cache` with the portable default
+    /// tile. Blocks are sized by [`Scalar::PACK_BYTES`] — the width of
+    /// the elements that actually occupy the packed panels (`f32` for
+    /// the widened `F16` path).
     pub fn for_cache<T: Scalar>(cache: CacheInfo) -> Self {
-        Self::with_tile(cache, TileShape::default_for(T::BYTES), T::BYTES)
+        Self::for_cache_isa::<T>(cache, Isa::Portable)
+    }
+
+    /// Parameters for `T` on caches `cache` with the tile the dispatched
+    /// `isa`'s microkernel prefers ([`TileShape::for_isa`]).
+    pub fn for_cache_isa<T: Scalar>(cache: CacheInfo, isa: Isa) -> Self {
+        Self::with_tile(cache, TileShape::for_isa(isa, T::PACK_BYTES), T::PACK_BYTES)
     }
 
     /// Parameters for an explicit tile shape (ablation entry point).
@@ -139,9 +186,10 @@ impl TunedParams {
         }
     }
 
-    /// Parameters for `T` on the build host's detected caches.
+    /// Parameters for `T` on the build host's detected caches and the
+    /// process-wide dispatched ISA ([`simd::active`]).
     pub fn host<T: Scalar>() -> Self {
-        Self::for_cache::<T>(CacheInfo::host())
+        Self::for_cache_isa::<T>(CacheInfo::host(), simd::active())
     }
 }
 
@@ -231,6 +279,10 @@ impl<T> Drop for AlignedBuf<T> {
 pub struct PackArena<T> {
     a: AlignedBuf<T>,
     b: AlignedBuf<T>,
+    // Widened panels for the F16 path: packs convert f16 → f32 so the
+    // contraction runs the native f32 microkernel. Empty for other T.
+    aw: AlignedBuf<f32>,
+    bw: AlignedBuf<f32>,
 }
 
 impl<T: Scalar> PackArena<T> {
@@ -239,6 +291,8 @@ impl<T: Scalar> PackArena<T> {
         PackArena {
             a: AlignedBuf::new(),
             b: AlignedBuf::new(),
+            aw: AlignedBuf::new(),
+            bw: AlignedBuf::new(),
         }
     }
 }
@@ -284,7 +338,7 @@ pub struct TunedStats {
 }
 
 impl TunedStats {
-    fn emit(&self, tile: TileShape) {
+    fn emit(&self, tile: TileShape, isa: Isa) {
         if perfport_trace::enabled() {
             perfport_trace::counter("gemm", "tuned_pack_a_bytes", self.pack_a_bytes as f64);
             perfport_trace::counter("gemm", "tuned_pack_b_bytes", self.pack_b_bytes as f64);
@@ -299,6 +353,7 @@ impl TunedStats {
                 vec![
                     ("mr".to_string(), (tile.mr as u64).into()),
                     ("nr".to_string(), (tile.nr as u64).into()),
+                    ("isa".to_string(), isa.name().into()),
                 ],
             );
         }
@@ -385,37 +440,82 @@ fn pack_b<T: Scalar>(
     (panels * kb * nr * std::mem::size_of::<T>()) as u64
 }
 
-// -------------------------------------------------------- microkernel --
-
-/// The register-tiled microkernel: `MR×NR` accumulators over a `kb`-deep
-/// contraction of packed micropanels.
-///
-/// `ap` holds `kb` groups of `MR` consecutive `A` values, `bp` holds
-/// `kb` groups of `NR` consecutive `B` values — both unit stride, so
-/// with `MR`/`NR` known at compile time LLVM unrolls the tile fully and
-/// keeps `acc` in vector registers. Products are accumulated with
-/// separate multiply and add (not [`Scalar::mul_add`]) because on
-/// baseline targets without an FMA instruction `mul_add` lowers to a
-/// libm call that defeats vectorisation.
-#[inline(always)]
-fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
+/// Packs the `A` block like [`pack_a`] but *widened*: source elements
+/// are `f16`, the packed micropanels hold their exact `f32` values
+/// ([`F16::widen_slice`] for the contiguous column-major case). Reported
+/// bytes are the widened bytes actually copied.
+fn pack_a_f16(
+    a: &Matrix<F16>,
+    i0: usize,
+    mb: usize,
+    p0: usize,
     kb: usize,
-    ap: &[T],
-    bp: &[T],
-) -> [[T; NR]; MR] {
-    debug_assert!(ap.len() >= kb * MR && bp.len() >= kb * NR);
-    let mut acc = [[T::zero(); NR]; MR];
-    for p in 0..kb {
-        let arow = &ap[p * MR..p * MR + MR];
-        let brow = &bp[p * NR..p * NR + NR];
-        for r in 0..MR {
-            let av = arow[r];
-            for c in 0..NR {
-                acc[r][c] += av * brow[c];
+    mr: usize,
+    buf: &mut AlignedBuf<f32>,
+) -> u64 {
+    let panels = mb.div_ceil(mr);
+    let dst = buf.slice_for(panels * kb * mr);
+    let (rs, cs) = strides(a);
+    let ad = a.as_slice();
+    let mut off = 0;
+    for ir in 0..panels {
+        let base_row = i0 + ir * mr;
+        let live = mr.min(i0 + mb - base_row);
+        for p in 0..kb {
+            let col_off = (p0 + p) * cs;
+            if rs == 1 {
+                let src = &ad[base_row + col_off..base_row + col_off + live];
+                F16::widen_slice(src, &mut dst[off..off + live]);
+            } else {
+                for r in 0..live {
+                    dst[off + r] = ad[(base_row + r) * rs + col_off].to_f32();
+                }
             }
+            for r in live..mr {
+                dst[off + r] = 0.0;
+            }
+            off += mr;
         }
     }
-    acc
+    (panels * kb * mr * std::mem::size_of::<f32>()) as u64
+}
+
+/// Packs the `B` panel like [`pack_b`] but widened to `f32` (see
+/// [`pack_a_f16`]).
+fn pack_b_f16(
+    b: &Matrix<F16>,
+    p0: usize,
+    kb: usize,
+    j0: usize,
+    nb: usize,
+    nr: usize,
+    buf: &mut AlignedBuf<f32>,
+) -> u64 {
+    let panels = nb.div_ceil(nr);
+    let dst = buf.slice_for(panels * kb * nr);
+    let (rs, cs) = strides(b);
+    let bd = b.as_slice();
+    let mut off = 0;
+    for jr in 0..panels {
+        let base_col = j0 + jr * nr;
+        let live = nr.min(j0 + nb - base_col);
+        for p in 0..kb {
+            let row_off = (p0 + p) * rs;
+            if cs == 1 {
+                let src = &bd[row_off + base_col..row_off + base_col + live];
+                F16::widen_slice(src, &mut dst[off..off + live]);
+            } else {
+                for c in 0..live {
+                    dst[off + c] = bd[row_off + (base_col + c) * cs].to_f32();
+                }
+            }
+            for c in live..nr {
+                dst[off + c] = 0.0;
+            }
+            off += nr;
+        }
+    }
+    (panels * kb * nr * std::mem::size_of::<f32>()) as u64
 }
 
 // ------------------------------------------------------------- driver --
@@ -431,10 +531,12 @@ fn run_blocked<T: Scalar, const MR: usize, const NR: usize>(
     rows: Range<usize>,
     blocks: &BlockSizes,
     arena: &mut PackArena<T>,
+    isa: Isa,
 ) -> TunedStats {
     let (m, n) = c_shape;
     let k = a.cols();
     let BlockSizes { mc, kc, nc } = *blocks;
+    let microkernel = simd::select::<T, MR, NR>(isa);
     let mut stats = TunedStats::default();
 
     for jc in (0..n).step_by(nc) {
@@ -458,7 +560,7 @@ fn run_blocked<T: Scalar, const MR: usize, const NR: usize>(
                         let i_base = i0 + ir * MR;
                         let ilim = MR.min(i0 + mb - i_base);
                         let ap = &ap_all[ir * kb * MR..(ir + 1) * kb * MR];
-                        let acc = microkernel::<T, MR, NR>(kb, ap, bp);
+                        let acc = microkernel(kb, ap, bp);
                         stats.microkernel_calls += 1;
                         match c_layout {
                             Layout::RowMajor => {
@@ -494,6 +596,90 @@ fn run_blocked<T: Scalar, const MR: usize, const NR: usize>(
     stats
 }
 
+/// The blocked loop nest for the widened `F16` path: packs convert
+/// `f16 → f32`, the contraction runs the dispatched `f32` microkernel,
+/// and each `C` element is re-rounded to `f16` once per `Kc` panel.
+///
+/// One rounding per panel (instead of one per multiply-accumulate in a
+/// straight `F16` instantiation) makes this path *more* accurate than
+/// the naive software-half kernels, and the rounding points are a fixed
+/// function of the `Kc` blocking, so serial ≡ parallel still holds
+/// bitwise per dispatched kernel.
+#[allow(clippy::too_many_arguments)]
+fn run_blocked_f16<const MR: usize, const NR: usize>(
+    a: &Matrix<F16>,
+    b: &Matrix<F16>,
+    c: &DisjointSlice<'_, F16>,
+    c_shape: (usize, usize),
+    c_layout: Layout,
+    rows: Range<usize>,
+    blocks: &BlockSizes,
+    arena: &mut PackArena<F16>,
+    isa: Isa,
+) -> TunedStats {
+    let (m, n) = c_shape;
+    let k = a.cols();
+    let BlockSizes { mc, kc, nc } = *blocks;
+    let microkernel = simd::select::<f32, MR, NR>(isa);
+    let mut stats = TunedStats::default();
+
+    for jc in (0..n).step_by(nc) {
+        let nb = nc.min(n - jc);
+        for p0 in (0..k).step_by(kc) {
+            let kb = kc.min(k - p0);
+            stats.pack_b_bytes += pack_b_f16(b, p0, kb, jc, nb, NR, &mut arena.bw);
+            for i0 in (rows.start..rows.end).step_by(mc) {
+                let mb = mc.min(rows.end - i0);
+                stats.pack_a_bytes += pack_a_f16(a, i0, mb, p0, kb, MR, &mut arena.aw);
+                // SAFETY below: identical row-ownership argument to
+                // `run_blocked`.
+                let ap_all = arena.aw.slice_for(mb.div_ceil(MR) * kb * MR);
+                let bp_all = arena.bw.slice_for(nb.div_ceil(NR) * kb * NR);
+                for jr in 0..nb.div_ceil(NR) {
+                    let j_base = jc + jr * NR;
+                    let jlim = NR.min(jc + nb - j_base);
+                    let bp = &bp_all[jr * kb * NR..(jr + 1) * kb * NR];
+                    for ir in 0..mb.div_ceil(MR) {
+                        let i_base = i0 + ir * MR;
+                        let ilim = MR.min(i0 + mb - i_base);
+                        let ap = &ap_all[ir * kb * MR..(ir + 1) * kb * MR];
+                        let acc = microkernel(kb, ap, bp);
+                        stats.microkernel_calls += 1;
+                        match c_layout {
+                            Layout::RowMajor => {
+                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
+                                    // SAFETY: row ownership (see above).
+                                    let crow = unsafe { c.row(i_base + r, n) };
+                                    for (cj, &v) in
+                                        crow[j_base..j_base + jlim].iter_mut().zip(acc_row)
+                                    {
+                                        *cj = F16::from_f32(cj.to_f32() + v);
+                                    }
+                                }
+                            }
+                            Layout::ColMajor => {
+                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
+                                    for (cix, &v) in acc_row.iter().enumerate().take(jlim) {
+                                        let idx = c_layout.index(m, n, i_base + r, j_base + cix);
+                                        // SAFETY: row ownership (see
+                                        // above); each element belongs
+                                        // to exactly one owned row.
+                                        unsafe {
+                                            let cj = c.at(idx);
+                                            *cj = F16::from_f32((*cj).to_f32() + v);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
 fn check_shapes<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, m: usize, n: usize) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert_eq!(a.rows(), m, "A rows must match C rows");
@@ -501,7 +687,8 @@ fn check_shapes<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, m: usize, n: usize) {
 }
 
 /// Runs the tuned kernel over one contiguous row range of `C`, packing
-/// through `arena`. This is the chunk-level entry the `Vendor` host
+/// through `arena`, with the process-wide dispatched microkernel
+/// ([`simd::active`]). This is the chunk-level entry the `Vendor` host
 /// variant and the parallel driver share.
 ///
 /// `c` wraps `C`'s backing storage (`m*n` elements, `c_layout` order);
@@ -521,10 +708,77 @@ pub fn gemm_rows<T: Scalar>(
     params: &TunedParams,
     arena: &mut PackArena<T>,
 ) -> TunedStats {
+    gemm_rows_with_isa(
+        a,
+        b,
+        c,
+        c_shape,
+        c_layout,
+        rows,
+        params,
+        arena,
+        simd::active(),
+    )
+}
+
+/// [`gemm_rows`] with an explicit ISA verdict instead of the process-wide
+/// one — the A/B entry point tests and ablations use to compare
+/// microkernels without touching `PERFPORT_SIMD`.
+///
+/// `isa` must be available on this CPU (callers obtain it from
+/// [`Isa::detect`], [`simd::active`], or an [`Isa::available`] check);
+/// [`simd::select`] falls back to the portable kernel for tile shapes the
+/// ISA cannot serve.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or an unsupported tile shape.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_rows_with_isa<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &DisjointSlice<'_, T>,
+    c_shape: (usize, usize),
+    c_layout: Layout,
+    rows: Range<usize>,
+    params: &TunedParams,
+    arena: &mut PackArena<T>,
+    isa: Isa,
+) -> TunedStats {
     let (m, n) = c_shape;
     check_shapes(a, b, m, n);
     assert_eq!(c.len(), m * n, "C storage size mismatch");
     assert!(rows.end <= m, "row range out of bounds");
+    if TypeId::of::<T>() == TypeId::of::<F16>() {
+        // SAFETY: `T` is exactly `F16` (checked above), so each cast is
+        // the identity; lifetimes are preserved by the reborrow.
+        let (a16, b16, c16, arena16) = unsafe {
+            (
+                &*(a as *const Matrix<T>).cast::<Matrix<F16>>(),
+                &*(b as *const Matrix<T>).cast::<Matrix<F16>>(),
+                &*(c as *const DisjointSlice<'_, T>).cast::<DisjointSlice<'_, F16>>(),
+                &mut *(arena as *mut PackArena<T>).cast::<PackArena<F16>>(),
+            )
+        };
+        let run = match (params.tile.mr, params.tile.nr) {
+            (4, 4) => run_blocked_f16::<4, 4>,
+            (8, 4) => run_blocked_f16::<8, 4>,
+            (4, 8) => run_blocked_f16::<4, 8>,
+            (8, 8) => run_blocked_f16::<8, 8>,
+            _ => panic!("unsupported tile shape {}", params.tile),
+        };
+        return run(
+            a16,
+            b16,
+            c16,
+            c_shape,
+            c_layout,
+            rows,
+            &params.blocks,
+            arena16,
+            isa,
+        );
+    }
     let run = match (params.tile.mr, params.tile.nr) {
         (4, 4) => run_blocked::<T, 4, 4>,
         (8, 4) => run_blocked::<T, 8, 4>,
@@ -532,10 +786,11 @@ pub fn gemm_rows<T: Scalar>(
         (8, 8) => run_blocked::<T, 8, 8>,
         _ => panic!("unsupported tile shape {}", params.tile),
     };
-    run(a, b, c, c_shape, c_layout, rows, &params.blocks, arena)
+    run(a, b, c, c_shape, c_layout, rows, &params.blocks, arena, isa)
 }
 
-/// Serial tuned GEMM: `C += A · B` with explicit parameters and arena.
+/// Serial tuned GEMM: `C += A · B` with explicit parameters and arena,
+/// using the process-wide dispatched microkernel.
 pub fn gemm_serial<T: Scalar>(
     a: &Matrix<T>,
     b: &Matrix<T>,
@@ -543,12 +798,25 @@ pub fn gemm_serial<T: Scalar>(
     params: &TunedParams,
     arena: &mut PackArena<T>,
 ) -> TunedStats {
+    gemm_serial_with_isa(a, b, c, params, arena, simd::active())
+}
+
+/// [`gemm_serial`] with an explicit ISA verdict (see
+/// [`gemm_rows_with_isa`] for the availability contract).
+pub fn gemm_serial_with_isa<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    params: &TunedParams,
+    arena: &mut PackArena<T>,
+    isa: Isa,
+) -> TunedStats {
     let shape = (c.rows(), c.cols());
     let layout = c.layout();
     let rows = 0..shape.0;
     let ds = DisjointSlice::new(c.as_mut_slice());
-    let stats = gemm_rows(a, b, &ds, shape, layout, rows, params, arena);
-    stats.emit(params.tile);
+    let stats = gemm_rows_with_isa(a, b, &ds, shape, layout, rows, params, arena, isa);
+    stats.emit(params.tile, isa);
     stats
 }
 
@@ -565,12 +833,14 @@ pub fn gemm<T: Scalar>(
 ) -> RegionStats {
     let (m, n) = (c.rows(), c.cols());
     check_shapes(a, b, m, n);
+    let isa = simd::active();
     let mut sp = perfport_trace::span("gemm", "tuned");
     if sp.is_recording() {
         sp.arg("m", m);
         sp.arg("n", n);
         sp.arg("k", a.cols());
         sp.arg("tile", params.tile.name());
+        sp.arg("isa", isa.name());
         sp.arg("mc", params.blocks.mc);
         sp.arg("kc", params.blocks.kc);
         sp.arg("nc", params.blocks.nc);
@@ -606,7 +876,7 @@ pub fn gemm<T: Scalar>(
         pack_b_bytes: pack_b_total.into_inner(),
         microkernel_calls: micro_total.into_inner(),
     };
-    totals.emit(params.tile);
+    totals.emit(params.tile, isa);
     region
 }
 

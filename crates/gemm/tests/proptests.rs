@@ -3,9 +3,10 @@
 //! variant.
 
 use perfport_gemm::{
-    gemm_reference_f64, matrix::Layout, par_gemm, serial::gemm_loop_order, serial::LoopOrder,
-    tuned, BlockSizes, CpuVariant, Matrix, PackArena, TileShape, TunedParams,
+    gemm_reference_f64, matrix::Layout, par_gemm, serial::gemm_loop_order, serial::LoopOrder, simd,
+    tuned, verify_gemm, BlockSizes, CpuVariant, Isa, Matrix, PackArena, TileShape, TunedParams,
 };
+use perfport_half::F16;
 use perfport_pool::{CacheInfo, Schedule, ThreadPool};
 use proptest::prelude::*;
 
@@ -210,4 +211,170 @@ proptest! {
         par_gemm(&pool, v, &a, &b, &mut par, Schedule::StaticBlock);
         prop_assert_eq!(serial, par);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every natively dispatched microkernel agrees with the portable
+    /// fallback within the FMA-contraction bound for every supported
+    /// MR×NR shape and any panel depth (including kb = 0). The portable
+    /// kernel rounds multiply and add separately; a native kernel fuses
+    /// them, so each of the `kb` accumulation steps differs by at most
+    /// one rounding — comfortably inside the `verify` tolerance
+    /// `k·u·4` that the tuned GEMM is held to.
+    #[test]
+    fn simd_microkernels_match_portable(kb in 0usize..35, seed in 0u64..1000) {
+        for isa in Isa::ALL {
+            if !isa.available() {
+                continue;
+            }
+            for tile in TileShape::ALL {
+                simd_vs_portable_f64(isa, tile, kb, seed);
+                simd_vs_portable_f32(isa, tile, kb, seed);
+            }
+        }
+    }
+
+    /// The full tuned GEMM run under every available ISA stays within the
+    /// `verify` tolerance of the f64 reference for ragged shapes, both
+    /// layouts, and all three precisions (FP16 exercises the widened-pack
+    /// path).
+    #[test]
+    fn tuned_gemm_verifies_under_every_isa(
+        (m, k, n) in tuned_dims(),
+        seed in 0u64..1000,
+        col in proptest::bool::ANY,
+    ) {
+        let layout = if col { Layout::ColMajor } else { Layout::RowMajor };
+        for isa in Isa::ALL {
+            if !isa.available() {
+                continue;
+            }
+            let a = Matrix::<f64>::random(m, k, layout, seed);
+            let b = Matrix::<f64>::random(k, n, layout, seed + 1);
+            for tile in TileShape::ALL {
+                let params = TunedParams::with_tile(CacheInfo::DEFAULT, tile, 8);
+                let mut c = Matrix::<f64>::zeros(m, n, layout);
+                tuned::gemm_serial_with_isa(&a, &b, &mut c, &params, &mut PackArena::new(), isa);
+                prop_assert!(verify_gemm(&a, &b, &c).is_ok(), "{isa} f64 tile {tile}");
+            }
+            let a32: Matrix<f32> = a.cast();
+            let b32: Matrix<f32> = b.cast();
+            let mut c32 = Matrix::<f32>::zeros(m, n, layout);
+            let params32 = TunedParams::for_cache_isa::<f32>(CacheInfo::DEFAULT, isa);
+            tuned::gemm_serial_with_isa(&a32, &b32, &mut c32, &params32, &mut PackArena::new(), isa);
+            prop_assert!(verify_gemm(&a32, &b32, &c32).is_ok(), "{isa} f32");
+
+            let a16: Matrix<F16> = a.cast();
+            let b16: Matrix<F16> = b.cast();
+            let mut c16 = Matrix::<F16>::zeros(m, n, layout);
+            let params16 = TunedParams::for_cache_isa::<F16>(CacheInfo::DEFAULT, isa);
+            tuned::gemm_serial_with_isa(&a16, &b16, &mut c16, &params16, &mut PackArena::new(), isa);
+            prop_assert!(verify_gemm(&a16, &b16, &c16).is_ok(), "{isa} f16 widened");
+        }
+    }
+
+    /// The parallel≡serial bitwise guarantee holds per dispatched kernel:
+    /// whatever `PERFPORT_SIMD` resolves to in this process, tuned
+    /// parallel runs reproduce tuned serial runs exactly (here under the
+    /// ISA-preferred default tiles rather than the forced 4×4 above).
+    #[test]
+    fn tuned_parallel_bitwise_serial_under_dispatched_isa(
+        (m, k, n) in tuned_dims(),
+        seed in 0u64..1000,
+        threads in 1usize..6,
+    ) {
+        let params = TunedParams {
+            blocks: BlockSizes { mc: 8, kc: 12, nc: 16 },
+            ..TunedParams::host::<f32>()
+        };
+        let a = Matrix::<f32>::random(m, k, Layout::RowMajor, seed);
+        let b = Matrix::<f32>::random(k, n, Layout::RowMajor, seed + 1);
+        let mut serial = Matrix::<f32>::zeros(m, n, Layout::RowMajor);
+        tuned::gemm_serial(&a, &b, &mut serial, &params, &mut PackArena::new());
+        let pool = ThreadPool::new(threads);
+        let mut par = Matrix::<f32>::zeros(m, n, Layout::RowMajor);
+        tuned::gemm(&pool, &a, &b, &mut par, &params);
+        prop_assert_eq!(serial, par);
+    }
+}
+
+/// One f64 microkernel comparison: build ragged-friendly panels, run the
+/// `isa`-selected kernel and the portable one, bound the difference by
+/// the per-step FMA rounding budget.
+fn simd_vs_portable_f64(isa: Isa, tile: TileShape, kb: usize, seed: u64) {
+    let (ap, bp) = match tile {
+        TileShape { mr: 4, nr: 4 } => panels_f64::<4, 4>(kb, seed),
+        TileShape { mr: 8, nr: 4 } => panels_f64::<8, 4>(kb, seed),
+        TileShape { mr: 4, nr: 8 } => panels_f64::<4, 8>(kb, seed),
+        TileShape { mr: 8, nr: 8 } => panels_f64::<8, 8>(kb, seed),
+        _ => unreachable!(),
+    };
+    let tol = (kb as f64).max(1.0) * f64::EPSILON * 8.0;
+    macro_rules! check {
+        ($mr:literal, $nr:literal) => {{
+            let native = simd::select::<f64, $mr, $nr>(isa)(kb, &ap, &bp);
+            let portable = simd::portable::<f64, $mr, $nr>(kb, &ap, &bp);
+            for (nr_row, pr_row) in native.iter().zip(&portable) {
+                for (nv, pv) in nr_row.iter().zip(pr_row) {
+                    prop_assert!(
+                        (nv - pv).abs() <= tol * pv.abs().max(1.0),
+                        "{isa} f64 {tile} kb={kb}: {nv} vs {pv}"
+                    );
+                }
+            }
+        }};
+    }
+    match tile {
+        TileShape { mr: 4, nr: 4 } => check!(4, 4),
+        TileShape { mr: 8, nr: 4 } => check!(8, 4),
+        TileShape { mr: 4, nr: 8 } => check!(4, 8),
+        TileShape { mr: 8, nr: 8 } => check!(8, 8),
+        _ => unreachable!(),
+    }
+}
+
+/// As [`simd_vs_portable_f64`] for f32 panels.
+fn simd_vs_portable_f32(isa: Isa, tile: TileShape, kb: usize, seed: u64) {
+    let (ap64, bp64) = match tile {
+        TileShape { mr: 4, nr: 4 } => panels_f64::<4, 4>(kb, seed),
+        TileShape { mr: 8, nr: 4 } => panels_f64::<8, 4>(kb, seed),
+        TileShape { mr: 4, nr: 8 } => panels_f64::<4, 8>(kb, seed),
+        TileShape { mr: 8, nr: 8 } => panels_f64::<8, 8>(kb, seed),
+        _ => unreachable!(),
+    };
+    let ap: Vec<f32> = ap64.iter().map(|&x| x as f32).collect();
+    let bp: Vec<f32> = bp64.iter().map(|&x| x as f32).collect();
+    let tol = (kb as f32).max(1.0) * f32::EPSILON * 8.0;
+    macro_rules! check {
+        ($mr:literal, $nr:literal) => {{
+            let native = simd::select::<f32, $mr, $nr>(isa)(kb, &ap, &bp);
+            let portable = simd::portable::<f32, $mr, $nr>(kb, &ap, &bp);
+            for (nr_row, pr_row) in native.iter().zip(&portable) {
+                for (nv, pv) in nr_row.iter().zip(pr_row) {
+                    prop_assert!(
+                        (nv - pv).abs() <= tol * pv.abs().max(1.0),
+                        "{isa} f32 {tile} kb={kb}: {nv} vs {pv}"
+                    );
+                }
+            }
+        }};
+    }
+    match tile {
+        TileShape { mr: 4, nr: 4 } => check!(4, 4),
+        TileShape { mr: 8, nr: 4 } => check!(8, 4),
+        TileShape { mr: 4, nr: 8 } => check!(4, 8),
+        TileShape { mr: 8, nr: 8 } => check!(8, 8),
+        _ => unreachable!(),
+    }
+}
+
+/// Deterministic pseudo-random packed panels for an `MR×NR` tile of
+/// depth `kb` (values in roughly `[-1, 1]` so products stay well scaled).
+fn panels_f64<const MR: usize, const NR: usize>(kb: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let gen = |i: usize, salt: u64| ((i as u64 + 1).wrapping_mul(seed + salt) as f64 * 0.37).sin();
+    let ap = (0..kb * MR).map(|i| gen(i, 17)).collect();
+    let bp = (0..kb * NR).map(|i| gen(i, 71)).collect();
+    (ap, bp)
 }

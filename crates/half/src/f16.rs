@@ -96,6 +96,21 @@ impl F16 {
         f16_bits_to_f32(self.0)
     }
 
+    /// Widens a slice element-wise into `dst` (exact; `f32` represents
+    /// every `f16` value). The bulk form GEMM pack routines use to
+    /// convert whole contiguous panels at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[inline]
+    pub fn widen_slice(src: &[F16], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "widen_slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.to_f32();
+        }
+    }
+
     /// Widens to the exactly representable `f64`.
     #[inline]
     pub fn to_f64(self) -> f64 {

@@ -11,7 +11,7 @@
 //!   *harmonic* mean over the platform set, defined to be 0 when any
 //!   platform in the set is unsupported. Comparing the two aggregations
 //!   is the paper's §V discussion, extended here as experiment A3.
-//! * [`productivity`] — source-code productivity measures (lines,
+//! * [`mod@productivity`] — source-code productivity measures (lines,
 //!   tokens, parallel-annotation count) for the paper's Fig. 2/3
 //!   snippets.
 

@@ -12,7 +12,7 @@
 //!   use? ([`profiles`])
 //! * a **support matrix** — which (model, architecture, precision)
 //!   combinations exist at all (Numba's deprecated AMD GPU backend, the
-//!   missing `float16` RNG, Kokkos/C half support) ([`support`]),
+//!   missing `float16` RNG, Kokkos/C half support) ([`mod@support`]),
 //! * a **code-generation calibration** — the residual efficiency of the
 //!   generated inner loop relative to the vendor toolchain, with per-entry
 //!   provenance; values are calibrated against the paper's own Table III
@@ -22,6 +22,25 @@
 //!   `perfport-gemm::tuned` pulls ahead of the fastest naive kernel,
 //!   measured on the build host and committed as the CPU denominator
 //!   correction for Table III ([`vendor`]).
+//!
+//! # Example
+//!
+//! Every calibration carries its provenance, so a Table III consumer can
+//! always answer "where did this number come from":
+//!
+//! ```
+//! use perfport_models::{vendor_headroom, Arch};
+//! use perfport_machines::Precision;
+//!
+//! let h = vendor_headroom(Arch::Epyc7A53, Precision::Double);
+//! assert!(h.value > 1.0, "a tuned kernel beats a naive loop nest");
+//! assert!(h.provenance.contains("measured"));
+//!
+//! // GPU vendor references already model the tuned library path.
+//! assert_eq!(vendor_headroom(Arch::A100, Precision::Double).value, 1.0);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod arch;
 pub mod calibration;

@@ -27,10 +27,12 @@ use crate::calibration::Calibration;
 use perfport_machines::Precision;
 
 /// Measured tuned-over-best-naive ratio at n=1024 FP64 on the build host
-/// (see `BENCH_gemm.json`).
-const HEADROOM_F64: f64 = 1.69;
-/// Measured tuned-over-best-naive ratio at n=1024 FP32 on the build host.
-const HEADROOM_F32: f64 = 1.79;
+/// (see `BENCH_gemm.json`; AVX-512 microkernel dispatched by
+/// `perfport_gemm::simd`).
+const HEADROOM_F64: f64 = 6.68;
+/// Measured tuned-over-best-naive ratio at n=1024 FP32 on the build host
+/// (256-bit AVX2 microkernel under the AVX-512 verdict).
+const HEADROOM_F32: f64 = 4.58;
 
 /// Multiplier the measured tuned kernel holds over the fastest naive
 /// portable kernel on a CPU target (1.0 on GPUs, whose vendor reference
@@ -45,18 +47,21 @@ pub fn vendor_headroom(arch: Arch, precision: Precision) -> Calibration {
     match precision {
         Precision::Double => Calibration {
             value: HEADROOM_F64,
-            provenance: "measured on the build host: tuned packed kernel vs fastest naive \
-                         portable model, n=1024 FP64 (host_gemm, BENCH_gemm.json)",
+            provenance: "measured on the build host: tuned packed kernel (AVX-512 \
+                         microkernel) vs fastest naive portable model, n=1024 FP64 \
+                         (host_gemm, BENCH_gemm.json)",
         },
         Precision::Single => Calibration {
             value: HEADROOM_F32,
-            provenance: "measured on the build host: tuned packed kernel vs fastest naive \
-                         portable model, n=1024 FP32 (host_gemm, BENCH_gemm.json)",
+            provenance: "measured on the build host: tuned packed kernel (AVX2 \
+                         microkernel) vs fastest naive portable model, n=1024 FP32 \
+                         (host_gemm, BENCH_gemm.json)",
         },
         Precision::Half => Calibration {
-            value: HEADROOM_F64,
+            value: HEADROOM_F32,
             provenance: "software-F16 headroom not separately measured; assumed at the \
-                         measured FP64 ratio (packing/blocking gains are precision-agnostic)",
+                         measured FP32 ratio (the tuned F16 path packs widened to f32 \
+                         and runs the f32 microkernel)",
         },
     }
 }
