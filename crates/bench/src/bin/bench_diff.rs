@@ -14,11 +14,21 @@
 //!
 //! `--warn-only` reports regressions but exits 0 — the mode CI uses on
 //! shared runners, where machine noise makes a hard gate dishonest.
+//!
+//! Snapshots from different tuned-kernel ISAs always draw a stderr
+//! warning (the delta includes the microkernel change, not just the code
+//! under test); `--require-same-isa` upgrades that to a refusal with
+//! exit code 3, distinct from regression (1) and usage (2), so a gating
+//! CI job can refuse apples-to-oranges comparisons outright.
 
 use perfport_bench::diff::{diff, parse_snapshot, DiffConfig, Snapshot, Verdict};
 
 const USAGE: &str = "usage: bench_diff <baseline.json> <candidate.json> \
-                     [--warn-only] [--floor <rel>] [--spread-factor <x>]";
+                     [--warn-only] [--require-same-isa] [--floor <rel>] [--spread-factor <x>]";
+
+/// Exit code for `--require-same-isa` refusals: the snapshots are not
+/// comparable, which is neither a regression (1) nor a usage error (2).
+const EXIT_ISA_MISMATCH: i32 = 3;
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -35,11 +45,13 @@ fn load(path: &str) -> Snapshot {
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut warn_only = false;
+    let mut require_same_isa = false;
     let mut cfg = DiffConfig::default();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--warn-only" => warn_only = true,
+            "--require-same-isa" => require_same_isa = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -74,8 +86,8 @@ fn main() {
         cand.points.len(),
         isa_of(&cand)
     );
-    if let (Some(bi), Some(ci)) = (&base.simd_isa, &cand.simd_isa) {
-        if bi != ci {
+    match (&base.simd_isa, &cand.simd_isa) {
+        (Some(bi), Some(ci)) if bi != ci => {
             // Different dispatched microkernels are a legitimate A/B run
             // (e.g. PERFPORT_SIMD=portable), but never a like-for-like
             // regression gate — flag it loudly either way.
@@ -83,7 +95,23 @@ fn main() {
                 "warning: snapshots were produced by different tuned-kernel ISAs \
                  ({bi} vs {ci}); differences below include the microkernel change"
             );
+            if require_same_isa {
+                eprintln!("error: --require-same-isa: refusing to compare across ISAs");
+                std::process::exit(EXIT_ISA_MISMATCH);
+            }
         }
+        (bi, ci) if require_same_isa && (bi.is_none() || ci.is_none()) => {
+            // A snapshot without provenance cannot prove it is
+            // like-for-like; under the gating flag that is a refusal too.
+            eprintln!(
+                "error: --require-same-isa: snapshot(s) carry no simd_isa manifest \
+                 (baseline: {}, candidate: {})",
+                isa_of(&base),
+                isa_of(&cand)
+            );
+            std::process::exit(EXIT_ISA_MISMATCH);
+        }
+        _ => {}
     }
 
     let entries = diff(&base, &cand, &cfg);

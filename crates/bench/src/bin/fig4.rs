@@ -1,7 +1,11 @@
 //! Regenerates Fig. 4: Crusher CPU (AMD EPYC 7A53) multithreaded GEMM,
 //! 64 threads across 4 NUMA regions, FP64 and FP32.
+//!
+//! `--shard i/n` / `--jobs N` switch to the sharded per-point study
+//! runner (see `perfport_core::shard`): shard outputs concatenate
+//! byte-identically to the single-shot CSV.
 
 fn main() {
-    let args = perfport_bench::HarnessArgs::from_env();
-    perfport_bench::print_panels(&["fig4a", "fig4b"], &args);
+    let (args, study) = perfport_bench::parse_study_args();
+    perfport_bench::print_study(&["fig4a", "fig4b"], &args, &study);
 }

@@ -1,7 +1,11 @@
 //! Regenerates Fig. 5: Wombat CPU (Ampere Altra) multithreaded GEMM,
 //! 80 threads, FP64 / FP32 / Julia FP16.
+//!
+//! `--shard i/n` / `--jobs N` switch to the sharded per-point study
+//! runner (see `perfport_core::shard`): shard outputs concatenate
+//! byte-identically to the single-shot CSV.
 
 fn main() {
-    let args = perfport_bench::HarnessArgs::from_env();
-    perfport_bench::print_panels(&["fig5a", "fig5b", "fig5c"], &args);
+    let (args, study) = perfport_bench::parse_study_args();
+    perfport_bench::print_study(&["fig5a", "fig5b", "fig5c"], &args, &study);
 }

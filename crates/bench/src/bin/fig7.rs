@@ -1,7 +1,11 @@
 //! Regenerates Fig. 7: Wombat GPU (NVIDIA A100) GEMM with 32×32 thread
 //! blocks, FP64 / FP32 / FP16 (Julia and Numba).
+//!
+//! `--shard i/n` / `--jobs N` switch to the sharded per-point study
+//! runner (see `perfport_core::shard`): shard outputs concatenate
+//! byte-identically to the single-shot CSV.
 
 fn main() {
-    let args = perfport_bench::HarnessArgs::from_env();
-    perfport_bench::print_panels(&["fig7a", "fig7b", "fig7c"], &args);
+    let (args, study) = perfport_bench::parse_study_args();
+    perfport_bench::print_study(&["fig7a", "fig7b", "fig7c"], &args, &study);
 }

@@ -27,7 +27,7 @@ const USAGE: &str =
 
 fn main() {
     let mut measured = false;
-    let args = HarnessArgs::parse_with_usage(std::env::args().skip(1), USAGE, |f| {
+    let parsed = HarnessArgs::try_parse_with(std::env::args().skip(1), |f| {
         if f == "--measured" {
             measured = true;
             true
@@ -35,6 +35,20 @@ fn main() {
             false
         }
     });
+    let args = match parsed {
+        Ok(args) if args.help => {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        Ok(args) => args,
+        Err(msg) => {
+            // Sharding flags land here too: this report is one unit of
+            // work, so `--shard`/`--jobs` are rejected, not ignored.
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     args.start_profiling();
     let trace = args.start_trace();
 

@@ -10,19 +10,33 @@
 //! Unknown flags are an error: the binary prints the usage line and
 //! exits with status 2. Binaries with extra flags (`host_gemm`,
 //! `roofline_report`) extend the same parser via
-//! [`HarnessArgs::try_parse_with`], so the shared set behaves
+//! [`HarnessArgs::try_parse_with`] /
+//! [`HarnessArgs::try_parse_with_values`], so the shared set behaves
 //! identically everywhere.
+//!
+//! The figure binaries additionally accept `--shard <i/n>` and
+//! `--jobs <n>` ([`ShardArgs`]): sharded invocations emit the canonical
+//! per-point study CSV instead of the human-readable panels, and
+//! concatenating the stdout of shards `0/n..n-1/n` reproduces the
+//! single-shot (`--shard 0/1`) artifact byte for byte (see
+//! `perfport_core::shard`).
 
 pub mod diff;
 pub mod manifest;
 
 pub use manifest::Manifest;
 
-use perfport_core::{figure_specs, render_csv, render_figure, FigureSpec, StudyConfig};
+use perfport_core::{
+    figure_specs, render_csv, render_figure, render_study_csv, run_study_sharded, study_grid,
+    FigureSpec, Shard, StudyConfig,
+};
 use std::path::PathBuf;
 
 /// The usage line shared by every regeneration binary.
 pub const USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile]";
+
+/// The usage line for the figure binaries, which also shard.
+pub const STUDY_USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile] [--shard <i/n>] [--jobs <n>]";
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +70,18 @@ impl HarnessArgs {
         args: I,
         mut extra: impl FnMut(&str) -> bool,
     ) -> Result<Self, String> {
+        Self::try_parse_with_values(args, |flag, _| Ok(extra(flag)))
+    }
+
+    /// The general extension hook: `extra` is called for any
+    /// otherwise-unknown argument with a puller for the *next* raw
+    /// argument, so binary-specific flags can take values (`--shard 0/2`)
+    /// as well as report their own parse errors. Returning `Ok(false)`
+    /// leaves the argument to the shared parser's unknown-flag rejection.
+    pub fn try_parse_with_values<I: IntoIterator<Item = String>>(
+        args: I,
+        mut extra: impl FnMut(&str, &mut dyn FnMut() -> Option<String>) -> Result<bool, String>,
+    ) -> Result<Self, String> {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -77,7 +103,7 @@ impl HarnessArgs {
                         out.threads = Some(parse_thread_count(n)?);
                     } else if let Some(path) = other.strip_prefix("--trace=") {
                         out.trace = Some(PathBuf::from(path));
-                    } else if !extra(other) {
+                    } else if !extra(other, &mut || it.next())? {
                         return Err(format!("unknown argument '{other}'"));
                     }
                 }
@@ -160,15 +186,108 @@ impl HarnessArgs {
     /// artifact records the machine/toolchain that produced it. Call
     /// [`TraceOutput::finish`] after the run to write the file.
     pub fn start_trace(&self) -> Option<TraceOutput> {
+        self.start_trace_with(|_| {})
+    }
+
+    /// [`HarnessArgs::start_trace`] with a hook to stamp extra provenance
+    /// (shard identity, job count) onto the manifest before it is emitted
+    /// as the trace's first event.
+    pub fn start_trace_with(&self, stamp: impl FnOnce(&mut Manifest)) -> Option<TraceOutput> {
         self.trace.as_ref().map(|path| {
             let session = perfport_trace::TraceSession::start();
-            let manifest = Manifest::collect(self.thread_count());
+            let mut manifest = Manifest::collect(self.thread_count());
+            stamp(&mut manifest);
             perfport_trace::instant("bench", "manifest", manifest.trace_args());
             TraceOutput {
                 session,
                 path: path.clone(),
             }
         })
+    }
+}
+
+/// The `--shard i/n` / `--jobs N` options of the figure binaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardArgs {
+    /// Which slice of the study grid to run (`None`: classic panel
+    /// output).
+    pub shard: Option<Shard>,
+    /// Worker count for the sharded runner (`None`: one job).
+    pub jobs: Option<usize>,
+}
+
+impl ShardArgs {
+    /// The [`HarnessArgs::try_parse_with_values`] hook consuming
+    /// `--shard`/`--jobs` in both `--flag value` and `--flag=value`
+    /// spellings.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed or missing value.
+    pub fn consume(
+        &mut self,
+        flag: &str,
+        next: &mut dyn FnMut() -> Option<String>,
+    ) -> Result<bool, String> {
+        match flag {
+            "--shard" => {
+                let v = next().ok_or_else(|| "--shard requires an i/n argument".to_string())?;
+                self.shard = Some(Shard::parse(&v)?);
+            }
+            "--jobs" => {
+                let v = next().ok_or_else(|| "--jobs requires a count argument".to_string())?;
+                self.jobs = Some(parse_job_count(&v)?);
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--shard=") {
+                    self.shard = Some(Shard::parse(v)?);
+                } else if let Some(v) = other.strip_prefix("--jobs=") {
+                    self.jobs = Some(parse_job_count(v)?);
+                } else {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether either sharding flag was given: selects the per-point CSV
+    /// study runner instead of the human-readable panels.
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some() || self.jobs.is_some()
+    }
+
+    /// The selected shard (`0/1`, the whole grid, when only `--jobs` was
+    /// given).
+    pub fn shard(&self) -> Shard {
+        self.shard.unwrap_or(Shard::FULL)
+    }
+
+    /// The selected job count (default one: serial on the calling
+    /// thread).
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or(1).max(1)
+    }
+}
+
+/// Parses a figure binary's process arguments: the shared harness set
+/// plus `--shard`/`--jobs`. Prints [`STUDY_USAGE`] and exits 0 for
+/// `--help`, 2 for anything unrecognised or malformed.
+pub fn parse_study_args() -> (HarnessArgs, ShardArgs) {
+    let mut shard = ShardArgs::default();
+    match HarnessArgs::try_parse_with_values(std::env::args().skip(1), |flag, next| {
+        shard.consume(flag, next)
+    }) {
+        Ok(out) if out.help => {
+            println!("{STUDY_USAGE}");
+            std::process::exit(0);
+        }
+        Ok(out) => (out, shard),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{STUDY_USAGE}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -205,6 +324,13 @@ fn parse_thread_count(s: &str) -> Result<usize, String> {
     }
 }
 
+fn parse_job_count(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("invalid job count '{s}'")),
+    }
+}
+
 /// Finds a registered figure spec by id.
 ///
 /// # Panics
@@ -215,6 +341,38 @@ pub fn spec(id: &str) -> FigureSpec {
         .into_iter()
         .find(|s| s.id == id)
         .unwrap_or_else(|| panic!("unknown figure id {id}"))
+}
+
+/// Runs the panels the way the figure binaries do: classic tables when
+/// no sharding flag was given, the sharded per-point CSV study runner
+/// otherwise.
+///
+/// In sharded mode the CSV header is emitted by shard 0 only, so
+/// concatenating the stdout of shards `0/n..n-1/n` in index order is
+/// byte-identical to the `--shard 0/1` artifact; the shard/jobs identity
+/// goes to stderr and into the `--trace` manifest, never stdout.
+pub fn print_study(ids: &[&str], args: &HarnessArgs, study: &ShardArgs) {
+    if !study.is_sharded() {
+        return print_panels(ids, args);
+    }
+    args.start_profiling();
+    let shard = study.shard();
+    let jobs = study.jobs();
+    let trace = args.start_trace_with(|m| {
+        m.shard = Some(shard.to_string());
+        m.jobs = Some(jobs);
+    });
+    let cfg = args.config();
+    let total = study_grid(ids, &cfg).len();
+    let results = run_study_sharded(ids, &cfg, shard, jobs);
+    print!("{}", render_study_csv(&results, shard.index == 0));
+    eprintln!(
+        "shard {shard}: ran {} of {total} grid points across {jobs} job(s)",
+        results.len()
+    );
+    if let Some(trace) = trace {
+        trace.finish();
+    }
 }
 
 /// Runs the panels and prints them (plus CSV when requested).
@@ -336,6 +494,75 @@ mod tests {
             })
             .unwrap_err();
         assert!(err.contains("--frobnicate"));
+    }
+
+    fn parse_study(args: &[&str]) -> Result<(HarnessArgs, ShardArgs), String> {
+        let mut shard = ShardArgs::default();
+        let out = HarnessArgs::try_parse_with_values(
+            args.iter().map(|s| s.to_string()),
+            |flag, next| shard.consume(flag, next),
+        )?;
+        Ok((out, shard))
+    }
+
+    #[test]
+    fn shard_flags_parse_in_both_spellings() {
+        let (a, s) = parse_study(&["--quick", "--shard", "1/4", "--jobs", "3"]).unwrap();
+        assert!(a.quick);
+        assert_eq!(s.shard, Some(Shard { index: 1, count: 4 }));
+        assert_eq!(s.jobs, Some(3));
+        let (_, s) = parse_study(&["--shard=0/2", "--jobs=2"]).unwrap();
+        assert_eq!(s.shard(), Shard { index: 0, count: 2 });
+        assert_eq!(s.jobs(), 2);
+        assert!(s.is_sharded());
+    }
+
+    #[test]
+    fn shard_defaults_cover_the_whole_grid_serially() {
+        let (_, s) = parse_study(&["--quick"]).unwrap();
+        assert!(!s.is_sharded());
+        assert_eq!(s.shard(), Shard::FULL);
+        assert_eq!(s.jobs(), 1);
+        // --jobs alone still selects the sharded CSV path over shard 0/1.
+        let (_, s) = parse_study(&["--jobs", "2"]).unwrap();
+        assert!(s.is_sharded());
+        assert_eq!(s.shard(), Shard::FULL);
+    }
+
+    #[test]
+    fn malformed_shard_flags_are_hard_errors() {
+        assert!(parse_study(&["--shard"]).unwrap_err().contains("i/n"));
+        assert!(parse_study(&["--shard", "2/2"])
+            .unwrap_err()
+            .contains("2/2"));
+        assert!(parse_study(&["--shard=banana"])
+            .unwrap_err()
+            .contains("banana"));
+        assert!(parse_study(&["--jobs"]).unwrap_err().contains("count"));
+        assert!(parse_study(&["--jobs", "0"]).unwrap_err().contains('0'));
+        assert!(parse_study(&["--jobs=none"]).unwrap_err().contains("none"));
+        // The hook leaves genuinely unknown flags to the shared rejection.
+        assert!(parse_study(&["--shards", "0/2"])
+            .unwrap_err()
+            .contains("--shards"));
+        assert!(STUDY_USAGE.contains("--shard") && STUDY_USAGE.contains("--jobs"));
+    }
+
+    #[test]
+    fn value_taking_hook_reports_its_own_errors() {
+        let err = HarnessArgs::try_parse_with_values(
+            ["--custom"].iter().map(|s| s.to_string()),
+            |flag, next| {
+                if flag == "--custom" {
+                    next().ok_or_else(|| "--custom requires a value".to_string())?;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--custom requires a value"));
     }
 
     #[test]

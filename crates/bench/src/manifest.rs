@@ -37,8 +37,17 @@ pub struct Manifest {
     /// `"avx2"`, `"neon"`, or `"portable"`. Reflects any `PERFPORT_SIMD`
     /// override in effect.
     pub simd_isa: String,
+    /// A valid `PERFPORT_SIMD` override the dispatcher had to decline
+    /// because the host cannot execute it (unknown values abort the
+    /// process instead). `None` when the override was honoured or absent.
+    pub simd_rejected: Option<String>,
     /// Worker-team size of the run.
     pub threads: usize,
+    /// Study-grid shard this run executed (`"i/n"`), `None` for
+    /// unsharded runs.
+    pub shard: Option<String>,
+    /// Job count of the sharded study runner, `None` for unsharded runs.
+    pub jobs: Option<usize>,
     /// Detected cache hierarchy (carries its own provenance in
     /// [`CacheInfo::source`]).
     pub cache: CacheInfo,
@@ -108,11 +117,21 @@ impl Manifest {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             simd_isa: perfport_gemm::simd::active().name().to_string(),
+            simd_rejected: perfport_gemm::simd::rejected_override().map(|i| i.name().to_string()),
             threads,
+            shard: None,
+            jobs: None,
             cache: CacheInfo::host(),
             counters: perfport_obs::probe().manifest_str(),
             profiling: perfport_obs::enabled(),
         }
+    }
+
+    /// Stamps the sharded study runner's identity onto the manifest.
+    pub fn with_shard(mut self, shard: &str, jobs: usize) -> Manifest {
+        self.shard = Some(shard.to_string());
+        self.jobs = Some(jobs);
+        self
     }
 
     /// Renders the manifest as one JSON object, indented by `indent`
@@ -134,6 +153,20 @@ impl Manifest {
             self.threads
         );
         let _ = writeln!(out, "{pad}  \"simd_isa\": \"{}\",", esc(&self.simd_isa));
+        let rejected = match &self.simd_rejected {
+            Some(isa) => format!("\"{}\"", esc(isa)),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(out, "{pad}  \"simd_rejected\": {rejected},");
+        let shard = match &self.shard {
+            Some(s) => format!("\"{}\"", esc(s)),
+            None => "null".to_string(),
+        };
+        let jobs = match self.jobs {
+            Some(j) => j.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(out, "{pad}  \"shard\": {shard}, \"jobs\": {jobs},");
         let _ = writeln!(
             out,
             "{pad}  \"cache\": {{\"l1d_bytes\": {}, \"l2_bytes\": {}, \"l3_bytes\": {}, \"source\": \"{}\"}},",
@@ -149,7 +182,7 @@ impl Manifest {
     /// carry the same provenance (emitted as one instant event).
     pub fn trace_args(&self) -> Vec<(String, perfport_trace::Value)> {
         use perfport_trace::Value;
-        vec![
+        let mut args = vec![
             ("schema".to_string(), Value::from(MANIFEST_SCHEMA)),
             ("git_sha".to_string(), Value::Str(self.git_sha.clone())),
             ("rustc".to_string(), Value::Str(self.rustc.clone())),
@@ -167,7 +200,17 @@ impl Manifest {
             ),
             ("counters".to_string(), Value::Str(self.counters.clone())),
             ("profiling".to_string(), Value::from(self.profiling)),
-        ]
+        ];
+        if let Some(isa) = &self.simd_rejected {
+            args.push(("simd_rejected".to_string(), Value::Str(isa.clone())));
+        }
+        if let Some(shard) = &self.shard {
+            args.push(("shard".to_string(), Value::Str(shard.clone())));
+        }
+        if let Some(jobs) = self.jobs {
+            args.push(("jobs".to_string(), Value::from(jobs)));
+        }
+        args
     }
 }
 
@@ -195,7 +238,10 @@ mod tests {
             os: "linux".to_string(),
             arch: "x86_64".to_string(),
             simd_isa: "avx2".to_string(),
+            simd_rejected: None,
             threads: 16,
+            shard: None,
+            jobs: None,
             cache: CacheInfo::DEFAULT,
             counters: "unavailable (perf_event_paranoid=3)".to_string(),
             profiling: false,
@@ -205,6 +251,11 @@ mod tests {
         assert_eq!(doc.get("schema").unwrap().as_str(), Some(MANIFEST_SCHEMA));
         assert_eq!(doc.get("git_sha").unwrap().as_str(), Some("abc123"));
         assert_eq!(doc.get("simd_isa").unwrap().as_str(), Some("avx2"));
+        // Unsharded runs stamp explicit nulls, keeping the schema stable.
+        use perfport_trace::json::Json;
+        assert!(matches!(doc.get("shard"), Some(Json::Null)));
+        assert!(matches!(doc.get("jobs"), Some(Json::Null)));
+        assert!(matches!(doc.get("simd_rejected"), Some(Json::Null)));
         assert_eq!(
             doc.get("cpu_model").unwrap().as_str(),
             Some("Imaginary CPU \"X\"")
@@ -221,6 +272,23 @@ mod tests {
             .unwrap()
             .starts_with("unavailable"));
         assert_eq!(doc.get("profiling").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn sharded_runs_stamp_their_identity() {
+        let m = Manifest::collect(2).with_shard("1/4", 3);
+        assert_eq!(m.shard.as_deref(), Some("1/4"));
+        assert_eq!(m.jobs, Some(3));
+        let doc = perfport_trace::json::parse(&m.to_json(0)).expect("valid JSON");
+        assert_eq!(doc.get("shard").unwrap().as_str(), Some("1/4"));
+        assert_eq!(doc.get("jobs").unwrap().as_f64(), Some(3.0));
+        let args = m.trace_args();
+        let keys: Vec<&str> = args.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"shard") && keys.contains(&"jobs"));
+        // Unsharded manifests keep the trace event lean: no shard keys.
+        let plain = Manifest::collect(2);
+        let keys: Vec<String> = plain.trace_args().into_iter().map(|(k, _)| k).collect();
+        assert!(!keys.contains(&"shard".to_string()));
     }
 
     #[test]

@@ -84,6 +84,79 @@ fn identical_snapshots_pass() {
     assert!(text.contains("0 regressed"));
 }
 
+/// A fixture with an embedded manifest pinning the producing ISA.
+fn with_isa(isa: &str) -> String {
+    BASELINE.replacen(
+        "\"quick\": false,",
+        &format!("\"quick\": false,\n  \"manifest\": {{\"schema\": \"perfport-manifest/1\", \"simd_isa\": \"{isa}\"}},"),
+        1,
+    )
+}
+
+#[test]
+fn cross_isa_comparison_warns_on_stderr_but_passes() {
+    let base = fixture("isa-a.json", &with_isa("avx512"));
+    let cand = fixture("isa-b.json", &with_isa("portable"));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args([base.to_str().unwrap(), cand.to_str().unwrap()])
+        .output()
+        .expect("bench_diff must run");
+    assert_eq!(out.status.code(), Some(0), "warning must not gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("different tuned-kernel ISAs") && stderr.contains("avx512"),
+        "cross-ISA warning must go to stderr:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("different tuned-kernel ISAs"),
+        "the warning must not pollute stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn require_same_isa_refuses_cross_isa_with_exit_three() {
+    let base = fixture("gate-a.json", &with_isa("avx512"));
+    let cand = fixture("gate-b.json", &with_isa("portable"));
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--require-same-isa",
+    ]);
+    assert_eq!(code, 3, "cross-ISA under the gate is exit 3:\n{text}");
+    assert!(text.contains("refusing to compare across ISAs"));
+}
+
+#[test]
+fn require_same_isa_passes_matching_snapshots() {
+    let base = fixture("gate-c.json", &with_isa("neon"));
+    let cand = fixture("gate-d.json", &with_isa("neon"));
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--require-same-isa",
+    ]);
+    assert_eq!(code, 0, "same-ISA snapshots must pass the gate:\n{text}");
+}
+
+#[test]
+fn require_same_isa_refuses_snapshots_without_provenance() {
+    // BASELINE carries no manifest: under the gate that is unprovable
+    // like-for-likeness, not a silent pass.
+    let base = fixture("gate-e.json", BASELINE);
+    let cand = fixture("gate-f.json", &with_isa("avx2"));
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--require-same-isa",
+    ]);
+    assert_eq!(
+        code, 3,
+        "missing provenance under the gate is exit 3:\n{text}"
+    );
+    assert!(text.contains("no simd_isa manifest"));
+}
+
 #[test]
 fn bad_input_is_a_usage_error_not_a_pass() {
     let base = fixture("base3.json", BASELINE);

@@ -1,0 +1,102 @@
+//! End-to-end checks of the `--shard`/`--jobs` figure-binary contract:
+//! concatenated shard stdout is byte-identical to the single-shot run,
+//! the job count never reaches stdout, malformed shard flags exit 2,
+//! and binaries that are one unit of work reject the flags outright.
+
+use std::process::Command;
+
+fn run(exe: &str, args: &[&str]) -> (i32, Vec<u8>, String) {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{exe} must run: {e}"));
+    (
+        out.status.code().unwrap_or(-1),
+        out.stdout,
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const FIG7: &str = env!("CARGO_BIN_EXE_fig7");
+
+#[test]
+fn shard_stdout_concatenates_to_the_single_shot_bytes() {
+    let (code, single, stderr) = run(FIG7, &["--quick", "--shard", "0/1"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        single.starts_with(b"figure,arch,model,precision,n,"),
+        "sharded mode must emit the per-point CSV"
+    );
+    assert!(
+        stderr.contains("shard 0/1"),
+        "the shard identity goes to stderr: {stderr}"
+    );
+
+    let mut concatenated = Vec::new();
+    for shard in ["0/2", "1/2"] {
+        let (code, stdout, stderr) = run(FIG7, &["--quick", "--shard", shard]);
+        assert_eq!(code, 0, "{stderr}");
+        concatenated.extend_from_slice(&stdout);
+    }
+    assert_eq!(
+        concatenated, single,
+        "shards 0/2 + 1/2 must reproduce --shard 0/1 byte for byte"
+    );
+}
+
+#[test]
+fn jobs_change_wall_clock_not_bytes() {
+    let (code, one, stderr) = run(FIG7, &["--quick", "--jobs", "1"]);
+    assert_eq!(code, 0, "{stderr}");
+    let (code, three, stderr) = run(FIG7, &["--quick", "--jobs", "3"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert_eq!(one, three, "--jobs must never change the artifact");
+    // --jobs alone selects the sharded CSV over the whole grid.
+    assert!(one.starts_with(b"figure,arch,model,precision,n,"));
+}
+
+#[test]
+fn classic_panel_output_is_untouched() {
+    let (code, stdout, _) = run(FIG7, &["--quick"]);
+    assert_eq!(code, 0);
+    let text = String::from_utf8_lossy(&stdout);
+    assert!(
+        text.contains("== fig7a ==") && !text.starts_with("figure,"),
+        "without sharding flags the binaries keep the panel tables"
+    );
+}
+
+#[test]
+fn malformed_shard_flags_exit_two() {
+    for args in [
+        &["--quick", "--shard"][..],
+        &["--quick", "--shard", "2/2"],
+        &["--quick", "--shard", "banana"],
+        &["--quick", "--shard=1of2"],
+        &["--quick", "--jobs", "0"],
+        &["--quick", "--jobs"],
+    ] {
+        let (code, _, stderr) = run(FIG7, args);
+        assert_eq!(code, 2, "{args:?} must be a usage error: {stderr}");
+        assert!(stderr.contains("usage:"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn single_unit_binaries_reject_shard_flags() {
+    // These reports are one unit of work each; silently ignoring a
+    // sharding request would double-count in a fan-out. Exit 2, like any
+    // unknown flag.
+    for exe in [
+        env!("CARGO_BIN_EXE_roofline_report"),
+        env!("CARGO_BIN_EXE_babelstream"),
+    ] {
+        for flag in [&["--shard", "0/2"][..], &["--jobs", "2"]] {
+            let mut args = vec!["--quick"];
+            args.extend_from_slice(flag);
+            let (code, _, stderr) = run(exe, &args);
+            assert_eq!(code, 2, "{exe} {flag:?} must be rejected: {stderr}");
+            assert!(stderr.contains("unknown argument"), "{exe}: {stderr}");
+        }
+    }
+}

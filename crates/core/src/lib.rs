@@ -27,6 +27,7 @@ pub mod noise;
 pub mod report;
 pub mod runner;
 pub mod scaling;
+pub mod shard;
 pub mod stream;
 pub mod study;
 pub mod tables;
@@ -36,6 +37,10 @@ pub use experiment::{Experiment, ExperimentResult, RunError, SizePoint};
 pub use report::{render_report, reproduction_report, Anchor};
 pub use runner::run_experiment;
 pub use scaling::{run_scaling, ScalingResult, ScalingStudy};
+pub use shard::{
+    full_study_grid, render_study_csv, run_study_sharded, study_grid, GridPoint, PointResult,
+    PointRun, Shard, STUDY_CSV_HEADER,
+};
 pub use stream::{estimate_stream_bandwidth, run_stream_kernel, StreamKernel};
 pub use study::{figure_specs, FigureSpec, StudyConfig};
 pub use tables::{render_csv, render_figure, render_table3};

@@ -5,6 +5,13 @@
 //! reproduces that protocol: each repetition's modelled time is perturbed
 //! by a small multiplicative noise drawn from a seeded generator, so
 //! results are realistic *and* bit-reproducible.
+//!
+//! Each `(arch, model, precision, n)` grid point gets its own stream
+//! (the label carries the size), so the draws for one point never depend
+//! on which other points ran before it in the same process. That
+//! order-independence is what lets the sharded study runner partition
+//! the grid arbitrarily while reproducing the serial output byte for
+//! byte.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,93 @@
+//! Property tests for the sharded study runner: the byte-identity
+//! contract (`perfport_core::shard`) holds for *arbitrary* partitions of
+//! the quick grid, and the shard arithmetic never drops or duplicates a
+//! point.
+
+use perfport_core::{
+    figure_specs, full_study_grid, render_study_csv, run_study_sharded, Shard, StudyConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every canonical index lands in exactly one shard, for any shard
+    /// count and any grid size — the pure-arithmetic half of the
+    /// byte-identity contract.
+    #[test]
+    fn every_point_lands_in_exactly_one_shard(count in 1usize..48, total in 0usize..600) {
+        let mut seen = vec![0u32; total];
+        for index in 0..count {
+            for i in (Shard { index, count }).range(total) {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "seen = {seen:?}");
+    }
+
+    /// Shard sizes are balanced to within one point.
+    #[test]
+    fn shard_sizes_differ_by_at_most_one(count in 1usize..48, total in 0usize..600) {
+        let sizes: Vec<usize> = (0..count)
+            .map(|index| (Shard { index, count }).range(total).len())
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes = {sizes:?}");
+    }
+
+    /// `--shard` syntax round-trips through Display.
+    #[test]
+    fn parse_display_round_trip(index in 0usize..64, count in 1usize..64) {
+        prop_assume!(index < count);
+        let s = Shard { index, count };
+        prop_assert_eq!(Shard::parse(&s.to_string()), Ok(s));
+    }
+}
+
+/// All eleven quick panels, the grid the figure binaries shard over.
+fn all_ids() -> Vec<&'static str> {
+    figure_specs().iter().map(|s| s.id).collect()
+}
+
+/// Concatenating the per-shard CSVs of any n-way partition of the full
+/// quick grid, header on shard 0 only, reproduces the single-shot
+/// (`0/1`) artifact byte for byte.
+#[test]
+fn any_partition_concatenates_to_the_serial_bytes() {
+    let cfg = StudyConfig::quick();
+    let ids = all_ids();
+    let serial = render_study_csv(&run_study_sharded(&ids, &cfg, Shard::FULL, 1), true);
+    let total = full_study_grid(&cfg).len();
+    // Uneven counts, a count larger than some shards' size would be even,
+    // and one exceeding the grid (empty tail shards must emit nothing).
+    for count in [2usize, 3, 5, 7, total + 3] {
+        let mut concatenated = String::new();
+        for index in 0..count {
+            let shard = Shard { index, count };
+            let results = run_study_sharded(&ids, &cfg, shard, 1);
+            assert_eq!(results.len(), shard.range(total).len(), "{shard}");
+            concatenated.push_str(&render_study_csv(&results, index == 0));
+        }
+        assert_eq!(
+            concatenated, serial,
+            "partition into {count} shards must reproduce the serial bytes"
+        );
+    }
+}
+
+/// The worker count changes wall-clock, never bytes.
+#[test]
+fn job_count_never_reaches_the_output() {
+    let cfg = StudyConfig::quick();
+    let ids = all_ids();
+    let one = render_study_csv(&run_study_sharded(&ids, &cfg, Shard::FULL, 1), true);
+    for jobs in [2usize, 4] {
+        let many = render_study_csv(&run_study_sharded(&ids, &cfg, Shard::FULL, jobs), true);
+        assert_eq!(one, many, "jobs={jobs} must not change the artifact");
+    }
+    // Sharding and parallelism compose: a parallel shard still emits its
+    // slice of the serial bytes.
+    let shard = Shard { index: 1, count: 3 };
+    let a = render_study_csv(&run_study_sharded(&ids, &cfg, shard, 1), false);
+    let b = render_study_csv(&run_study_sharded(&ids, &cfg, shard, 4), false);
+    assert_eq!(a, b);
+}

@@ -57,9 +57,14 @@
 //! runs: `portable` forces the fallback tile, `avx2` / `avx512` / `neon`
 //! request a specific ISA (honoured only if the CPU supports it — an
 //! unavailable request degrades to the best available ISA with a note on
-//! stderr, never to an illegal-instruction fault), and `auto` (or unset)
-//! detects. The decision is queryable via [`active`] and is stamped into
-//! bench manifests and trace metadata.
+//! stderr, never to an illegal-instruction fault, and the rejected
+//! request is kept queryable via [`rejected_override`] so run manifests
+//! can record it), and `auto` (or unset) detects. An *unknown* value is
+//! a hard error: the process aborts listing the valid names, because a
+//! typo'd override that silently fell back to detection would label an
+//! A/B run with the wrong kernel and produce misattributed numbers. The
+//! decision is queryable via [`active`] and is stamped into bench
+//! manifests and trace metadata.
 //!
 //! ```
 //! use perfport_gemm::simd::{self, Isa};
@@ -156,20 +161,38 @@ impl std::fmt::Display for Isa {
     }
 }
 
+/// The outcome of resolving the `PERFPORT_SIMD` override against what
+/// the CPU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Resolution {
+    /// The ISA the process dispatches to.
+    isa: Isa,
+    /// A valid override that named an ISA this CPU cannot execute; the
+    /// request was rejected and `isa` is the detected fallback. Recorded
+    /// so run manifests can disclose that the override was *not* honoured.
+    rejected: Option<Isa>,
+}
+
 /// Resolves the `PERFPORT_SIMD` override against what the CPU supports.
 /// Separated from [`active`] so it is testable without process-global
-/// state; `quiet` suppresses the degradation note.
-fn resolve(request: Option<&str>, quiet: bool) -> Isa {
+/// state; `quiet` suppresses the degradation note. An unrecognised value
+/// is an error (the caller aborts): silently detecting past a typo would
+/// misattribute every number the run produces.
+fn resolve(request: Option<&str>, quiet: bool) -> Result<Resolution, String> {
     let detected = Isa::detect();
+    let honoured = |isa| Resolution {
+        isa,
+        rejected: None,
+    };
     let Some(request) = request else {
-        return detected;
+        return Ok(honoured(detected));
     };
     let request = request.trim();
     if request.is_empty() || request == "auto" {
-        return detected;
+        return Ok(honoured(detected));
     }
     match Isa::from_name(request) {
-        Some(isa) if isa.available() => isa,
+        Some(isa) if isa.available() => Ok(honoured(isa)),
         Some(isa) => {
             if !quiet {
                 eprintln!(
@@ -177,28 +200,49 @@ fn resolve(request: Option<&str>, quiet: bool) -> Isa {
                      using {detected}"
                 );
             }
-            detected
+            Ok(Resolution {
+                isa: detected,
+                rejected: Some(isa),
+            })
         }
-        None => {
-            if !quiet {
-                eprintln!(
-                    "perfport-gemm: unknown PERFPORT_SIMD value '{request}' \
-                     (expected auto|portable|avx2|avx512|neon); using {detected}"
-                );
-            }
-            detected
-        }
+        None => Err(format!(
+            "unknown PERFPORT_SIMD value '{request}' \
+             (expected auto|portable|avx2|avx512|neon)"
+        )),
     }
+}
+
+fn resolution() -> Resolution {
+    static ACTIVE: OnceLock<Resolution> = OnceLock::new();
+    *ACTIVE.get_or_init(
+        || match resolve(std::env::var("PERFPORT_SIMD").ok().as_deref(), false) {
+            Ok(r) => r,
+            Err(msg) => {
+                // Fail fast: a typo'd A/B override must never silently
+                // produce numbers attributed to the wrong kernel.
+                eprintln!("perfport-gemm: {msg}");
+                std::process::exit(2);
+            }
+        },
+    )
 }
 
 /// The ISA every tuned GEMM in this process dispatches to.
 ///
 /// Decided once, on first call: the `PERFPORT_SIMD` override if set and
-/// available, otherwise the best ISA the CPU supports. See the module
-/// docs for the contract this one-shot decision upholds.
+/// available, otherwise the best ISA the CPU supports. An unknown
+/// `PERFPORT_SIMD` value aborts the process with exit status 2. See the
+/// module docs for the contract this one-shot decision upholds.
 pub fn active() -> Isa {
-    static ACTIVE: OnceLock<Isa> = OnceLock::new();
-    *ACTIVE.get_or_init(|| resolve(std::env::var("PERFPORT_SIMD").ok().as_deref(), false))
+    resolution().isa
+}
+
+/// The `PERFPORT_SIMD` override this process rejected because the named
+/// ISA is not executable on this CPU (`None` when no override was given
+/// or it was honoured). [`active`] is the detected fallback in that
+/// case; manifests record both so A/B runs stay attributable.
+pub fn rejected_override() -> Option<Isa> {
+    resolution().rejected
 }
 
 /// A microkernel: `kb`-deep contraction of zero-padded `MR`-row /
@@ -351,16 +395,35 @@ mod tests {
     #[test]
     fn env_override_resolution() {
         let detected = Isa::detect();
-        assert_eq!(resolve(None, true), detected);
-        assert_eq!(resolve(Some("auto"), true), detected);
-        assert_eq!(resolve(Some(""), true), detected);
-        assert_eq!(resolve(Some("portable"), true), Isa::Portable);
-        // Junk and unavailable requests degrade to detection, never fault.
-        assert_eq!(resolve(Some("avx9000"), true), detected);
+        let ok = |r: Result<Resolution, String>| r.expect("must resolve");
+        assert_eq!(ok(resolve(None, true)).isa, detected);
+        assert_eq!(ok(resolve(Some("auto"), true)).isa, detected);
+        assert_eq!(ok(resolve(Some(""), true)).isa, detected);
+        assert_eq!(ok(resolve(None, true)).rejected, None);
+        let portable = ok(resolve(Some("portable"), true));
+        assert_eq!(portable.isa, Isa::Portable);
+        assert_eq!(portable.rejected, None);
+        // An unknown value is a hard error that names the valid spellings
+        // (a typo must never silently fall back to detection).
+        let err = resolve(Some("avx9000"), true).expect_err("junk must be rejected");
+        assert!(err.contains("avx9000"), "{err}");
+        for name in ["auto", "portable", "avx2", "avx512", "neon"] {
+            assert!(err.contains(name), "{err} missing {name}");
+        }
+        // A valid but unavailable request degrades to detection — never a
+        // fault — and records what it rejected.
         #[cfg(target_arch = "x86_64")]
-        assert_eq!(resolve(Some("neon"), true), detected);
+        {
+            let r = ok(resolve(Some("neon"), true));
+            assert_eq!(r.isa, detected);
+            assert_eq!(r.rejected, Some(Isa::Neon));
+        }
         #[cfg(target_arch = "aarch64")]
-        assert_eq!(resolve(Some("avx2"), true), detected);
+        {
+            let r = ok(resolve(Some("avx2"), true));
+            assert_eq!(r.isa, detected);
+            assert_eq!(r.rejected, Some(Isa::Avx2));
+        }
     }
 
     #[test]

@@ -363,6 +363,34 @@ impl ThreadPool {
             }
         })
     }
+
+    /// Work-sharing map over `0..n`: runs `f(i)` for every index under
+    /// `schedule` and returns the results **in index order**, regardless
+    /// of which worker computed which index or in what interleaving.
+    ///
+    /// This is the collection primitive behind the sharded study runner:
+    /// an embarrassingly parallel grid can fan out across the team while
+    /// the ordered return value lets the caller emit output bytes
+    /// identical to a serial run.
+    pub fn parallel_map<T, F>(&self, n: usize, schedule: Schedule, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let slots = SlotCell::<Option<T>>::new(n);
+        self.parallel_for_each(n, schedule, |i| {
+            let v = f(i);
+            // SAFETY: every schedule assigns each index to exactly one
+            // chunk (one worker), and the coordinator reads the slots
+            // only after the region joined.
+            unsafe { slots.set(i, Some(v)) };
+        });
+        slots
+            .into_inner()
+            .into_iter()
+            .map(|v| v.expect("schedule visited every index exactly once"))
+            .collect()
+    }
 }
 
 /// Wraps a job; separated so `Msg` construction stays next to its
@@ -558,5 +586,37 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn parallel_map_returns_results_in_index_order() {
+        let pool = ThreadPool::new(4);
+        for schedule in [
+            Schedule::StaticBlock,
+            Schedule::StaticChunked { chunk: 3 },
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let out = pool.parallel_map(37, schedule, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+        // Non-Clone, non-Default result types are fine.
+        let boxed = pool.parallel_map(5, Schedule::Dynamic { chunk: 2 }, Box::new);
+        assert_eq!(
+            boxed.iter().map(|b| **b).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        let empty: Vec<usize> = pool.parallel_map(0, Schedule::StaticBlock, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn parallel_map_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let _ = pool.parallel_map(8, Schedule::StaticBlock, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
     }
 }

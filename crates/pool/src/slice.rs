@@ -94,7 +94,7 @@ pub(crate) struct SlotCell<T>(Box<[UnsafeCell<T>]>);
 
 unsafe impl<T: Send> Sync for SlotCell<T> {}
 
-impl<T: Default + Clone> SlotCell<T> {
+impl<T: Default> SlotCell<T> {
     pub(crate) fn new(n: usize) -> Self {
         SlotCell((0..n).map(|_| UnsafeCell::new(T::default())).collect())
     }
