@@ -108,7 +108,63 @@ fn parse_point(obj: &Json) -> Result<SnapshotPoint, String> {
     })
 }
 
-/// Parses a snapshot in either `perfport-bench-gemm/1` or `/2` form.
+/// Maps a `perfport-bench-serve/1` document onto one synthetic
+/// [`SnapshotPoint`] so the existing higher-is-better diff engine gates
+/// serving runs too: `n` is the request count, the precision label is
+/// `"SERVE"`, and the latency percentiles enter as reciprocals
+/// (`inv_p50_ms` = 1/p50, so a latency regression reads as a metric
+/// drop) alongside `sustained_gflops` and `req_per_s`.
+fn parse_serve(
+    doc: &Json,
+    schema: String,
+    quick: bool,
+    simd_isa: Option<String>,
+) -> Result<Snapshot, String> {
+    let requests = doc
+        .get("workload")
+        .and_then(|w| w.get("requests"))
+        .and_then(Json::as_f64)
+        .ok_or("serve snapshot missing numeric 'workload.requests'")? as u64;
+    let lat = doc
+        .get("latency_ms")
+        .ok_or("serve snapshot missing 'latency_ms'")?;
+    let mut gflops = BTreeMap::new();
+    for (field, metric) in [
+        ("p50", "inv_p50_ms"),
+        ("p95", "inv_p95_ms"),
+        ("p99", "inv_p99_ms"),
+    ] {
+        let v = lat
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("serve snapshot missing numeric 'latency_ms.{field}'"))?;
+        if v > 0.0 {
+            gflops.insert(metric.to_string(), 1.0 / v);
+        }
+    }
+    for field in ["sustained_gflops", "req_per_s"] {
+        let v = doc
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("serve snapshot missing numeric '{field}'"))?;
+        gflops.insert(field.to_string(), v);
+    }
+    Ok(Snapshot {
+        schema,
+        quick,
+        simd_isa,
+        points: vec![SnapshotPoint {
+            n: requests,
+            precision: "SERVE".to_string(),
+            gflops,
+            spread: BTreeMap::new(),
+        }],
+    })
+}
+
+/// Parses a snapshot: `perfport-bench-gemm/1` or `/2`, or a
+/// `perfport-bench-serve/1` serving run (mapped to one synthetic point
+/// whose latencies enter reciprocally, so increases read as drops).
 pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let schema = doc
@@ -116,15 +172,18 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         .and_then(Json::as_str)
         .ok_or("missing 'schema'")?
         .to_string();
-    if !schema.starts_with("perfport-bench-gemm/") {
-        return Err(format!("not a bench snapshot: schema '{schema}'"));
-    }
     let quick = doc.get("quick").and_then(Json::as_bool).unwrap_or(false);
     let simd_isa = doc
         .get("manifest")
         .and_then(|m| m.get("simd_isa"))
         .and_then(Json::as_str)
         .map(str::to_string);
+    if schema.starts_with("perfport-bench-serve/") {
+        return parse_serve(&doc, schema, quick, simd_isa);
+    }
+    if !schema.starts_with("perfport-bench-gemm/") {
+        return Err(format!("not a bench snapshot: schema '{schema}'"));
+    }
     let points = doc
         .get("points")
         .and_then(Json::as_array)
@@ -286,6 +345,62 @@ mod tests {
         );
         let snap = parse_snapshot(&with_manifest).unwrap();
         assert_eq!(snap.simd_isa.as_deref(), Some("avx512"));
+    }
+
+    const SERVE: &str = r#"{
+      "schema": "perfport-bench-serve/1",
+      "quick": true,
+      "seed": 42,
+      "manifest": {"schema": "perfport-manifest/1", "simd_isa": "avx2"},
+      "workload": {"requests": 256, "batches": 8, "batch_max": 32, "rate_req_per_s": 2000.0},
+      "latency_ms": {"p50": 2.0, "p95": 5.0, "p99": 10.0, "mean": 2.5, "max": 12.0},
+      "sustained_gflops": 6.25,
+      "req_per_s": 1800.0
+    }"#;
+
+    #[test]
+    fn serve_snapshots_map_to_one_reciprocal_latency_point() {
+        let snap = parse_snapshot(SERVE).unwrap();
+        assert_eq!(snap.schema, "perfport-bench-serve/1");
+        assert!(snap.quick);
+        assert_eq!(snap.simd_isa.as_deref(), Some("avx2"));
+        assert_eq!(snap.points.len(), 1);
+        let p = &snap.points[0];
+        assert_eq!(p.n, 256);
+        assert_eq!(p.precision, "SERVE");
+        assert_eq!(p.gflops["sustained_gflops"], 6.25);
+        assert_eq!(p.gflops["req_per_s"], 1800.0);
+        // Latency enters reciprocally, so "higher is better" holds.
+        assert!((p.gflops["inv_p50_ms"] - 0.5).abs() < 1e-12);
+        assert!((p.gflops["inv_p99_ms"] - 0.1).abs() < 1e-12);
+        assert!(p.spread.is_empty());
+    }
+
+    #[test]
+    fn serve_latency_regressions_are_detected() {
+        let base = parse_snapshot(SERVE).unwrap();
+        // p99 doubles (10 ms -> 20 ms): inv_p99_ms halves, well past the
+        // 5% floor.
+        let cand = parse_snapshot(&SERVE.replacen("\"p99\": 10.0", "\"p99\": 20.0", 1)).unwrap();
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        let p99 = entries.iter().find(|e| e.variant == "inv_p99_ms").unwrap();
+        assert_eq!(p99.verdict, Verdict::Regressed);
+        let p50 = entries.iter().find(|e| e.variant == "inv_p50_ms").unwrap();
+        assert_eq!(p50.verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn malformed_serve_snapshots_name_the_missing_field() {
+        let no_lat = SERVE.replacen("\"latency_ms\"", "\"latency\"", 1);
+        assert!(parse_snapshot(&no_lat).unwrap_err().contains("latency_ms"));
+        let no_gflops = SERVE.replacen("\"sustained_gflops\"", "\"gflops\"", 1);
+        assert!(parse_snapshot(&no_gflops)
+            .unwrap_err()
+            .contains("sustained_gflops"));
+        let no_req = SERVE.replacen("\"requests\": 256,", "", 1);
+        assert!(parse_snapshot(&no_req)
+            .unwrap_err()
+            .contains("workload.requests"));
     }
 
     #[test]

@@ -157,6 +157,64 @@ fn require_same_isa_refuses_snapshots_without_provenance() {
     assert!(text.contains("no simd_isa manifest"));
 }
 
+/// A serving snapshot as `serve_gemm` emits it (latency percentiles
+/// mapped to reciprocal metrics by the parser).
+const SERVE_BASE: &str = r#"{
+  "schema": "perfport-bench-serve/1",
+  "quick": true,
+  "seed": 42,
+  "manifest": {"schema": "perfport-manifest/1", "simd_isa": "avx2"},
+  "workload": {"requests": 64, "batches": 2, "batch_max": 32, "rate_req_per_s": 2000},
+  "latency_ms": {"p50": 0.050, "p95": 0.120, "p99": 0.200, "mean": 0.060, "max": 0.250},
+  "sustained_gflops": 3.5,
+  "req_per_s": 1900.0
+}"#;
+
+#[test]
+fn serve_snapshot_self_compare_passes() {
+    let base = fixture("serve-a.json", SERVE_BASE);
+    let cand = fixture("serve-b.json", SERVE_BASE);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(code, 0, "identical serve snapshots must pass:\n{text}");
+    assert!(text.contains("0 regressed"), "summary missing:\n{text}");
+    assert!(
+        text.contains("inv_p99_ms"),
+        "latency metrics must appear in the report:\n{text}"
+    );
+}
+
+#[test]
+fn serve_tail_latency_regression_gates_and_warn_only_passes() {
+    // p99 doubles: inv_p99_ms halves, well past the threshold.
+    let worse = SERVE_BASE.replace("\"p99\": 0.200", "\"p99\": 0.400");
+    let base = fixture("serve-c.json", SERVE_BASE);
+    let cand = fixture("serve-d.json", &worse);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(code, 1, "a doubled p99 must fail the gate:\n{text}");
+    assert!(text.contains("REGRESSED"));
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--warn-only",
+    ]);
+    assert_eq!(code, 0, "warn-only must report without failing:\n{text}");
+    assert!(text.contains("warn-only"));
+}
+
+#[test]
+fn serve_and_gemm_snapshots_do_not_cross_compare_silently() {
+    // Nothing in common between a SERVE point and an FP64 kernel point:
+    // the diff must refuse rather than report a hollow pass.
+    let base = fixture("serve-e.json", SERVE_BASE);
+    let cand = fixture("gemm-e.json", BASELINE);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(
+        code, 2,
+        "disjoint snapshots must not pass silently:\n{text}"
+    );
+    assert!(text.contains("share no (n, precision, variant) cells"));
+}
+
 #[test]
 fn bad_input_is_a_usage_error_not_a_pass() {
     let base = fixture("base3.json", BASELINE);

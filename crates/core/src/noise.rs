@@ -20,6 +20,21 @@ use rand::{Rng, SeedableRng};
 /// a dedicated HPC node).
 pub const NOISE_REL_SIGMA: f64 = 0.02;
 
+/// Derives an independent, reproducible random stream from an experiment
+/// seed and a sub-component label (FNV-1a over the label, xor'd into the
+/// seed). Every per-entity stream in the workspace — per-grid-point
+/// repetition noise here, per-purpose arrival/shape/service streams in
+/// the serving harness — goes through this one function so labels
+/// decorrelate streams the same way everywhere.
+pub fn stream(seed: u64, label: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed ^ h)
+}
+
 /// A seeded noise source for one experiment.
 pub struct NoiseSource {
     rng: StdRng,
@@ -30,13 +45,8 @@ impl NoiseSource {
     /// sub-component label (so each (size, model) series gets an
     /// independent but reproducible stream).
     pub fn new(seed: u64, label: &str) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
         NoiseSource {
-            rng: StdRng::seed_from_u64(seed ^ h),
+            rng: stream(seed, label),
         }
     }
 

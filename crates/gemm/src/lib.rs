@@ -23,7 +23,11 @@
 //! * [`simd`] — the explicit AVX2+FMA / AVX-512 / NEON microkernels the
 //!   tuned kernel dispatches to at runtime (portable autovectorized
 //!   fallback included), overridable via `PERFPORT_SIMD`;
-//! * [`verify`] — numerical verification against an `f64` reference.
+//! * [`verify`] — numerical verification against an `f64` reference;
+//! * [`batch`] — the batched small-GEMM serving layer: shape-bucketed
+//!   [`Problem`] streams executed on the pool (or a
+//!   [`perfport_pool::WorkQueue`]) under a batch ≡ serial bitwise
+//!   contract.
 //!
 //! # Example
 //!
@@ -47,6 +51,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod gpu;
 pub mod gpu_tiled;
 pub mod matrix;
@@ -59,6 +64,10 @@ pub mod tuned;
 pub mod variants;
 pub mod verify;
 
+pub use batch::{
+    bucket, bucket_params, enqueue_batch, gemm_batch, gemm_batch_serial, BatchTicket, BucketKey,
+    Output, Precision, Problem,
+};
 pub use gpu::{gpu_gemm, gpu_gemm_mixed, GpuVariant};
 pub use gpu_tiled::{gpu_gemm_tiled, TILE};
 pub use matrix::{Layout, Matrix};

@@ -295,6 +295,16 @@ impl<T: Scalar> PackArena<T> {
             bw: AlignedBuf::new(),
         }
     }
+
+    /// Typed access to the widened `f32` packing buffers (`A`, `B`).
+    ///
+    /// The `F16` path packs into these — they exist on every arena
+    /// regardless of `T`, so the dispatcher never has to reinterpret a
+    /// `PackArena<T>` as a `PackArena<F16>`; an arena checked out for one
+    /// scalar type can therefore never alias buffers of another.
+    fn widened(&mut self) -> (&mut AlignedBuf<f32>, &mut AlignedBuf<f32>) {
+        (&mut self.aw, &mut self.bw)
+    }
 }
 
 impl<T: Scalar> Default for PackArena<T> {
@@ -614,7 +624,8 @@ fn run_blocked_f16<const MR: usize, const NR: usize>(
     c_layout: Layout,
     rows: Range<usize>,
     blocks: &BlockSizes,
-    arena: &mut PackArena<F16>,
+    aw: &mut AlignedBuf<f32>,
+    bw: &mut AlignedBuf<f32>,
     isa: Isa,
 ) -> TunedStats {
     let (m, n) = c_shape;
@@ -627,14 +638,14 @@ fn run_blocked_f16<const MR: usize, const NR: usize>(
         let nb = nc.min(n - jc);
         for p0 in (0..k).step_by(kc) {
             let kb = kc.min(k - p0);
-            stats.pack_b_bytes += pack_b_f16(b, p0, kb, jc, nb, NR, &mut arena.bw);
+            stats.pack_b_bytes += pack_b_f16(b, p0, kb, jc, nb, NR, bw);
             for i0 in (rows.start..rows.end).step_by(mc) {
                 let mb = mc.min(rows.end - i0);
-                stats.pack_a_bytes += pack_a_f16(a, i0, mb, p0, kb, MR, &mut arena.aw);
+                stats.pack_a_bytes += pack_a_f16(a, i0, mb, p0, kb, MR, aw);
                 // SAFETY below: identical row-ownership argument to
                 // `run_blocked`.
-                let ap_all = arena.aw.slice_for(mb.div_ceil(MR) * kb * MR);
-                let bp_all = arena.bw.slice_for(nb.div_ceil(NR) * kb * NR);
+                let ap_all = aw.slice_for(mb.div_ceil(MR) * kb * MR);
+                let bp_all = bw.slice_for(nb.div_ceil(NR) * kb * NR);
                 for jr in 0..nb.div_ceil(NR) {
                     let j_base = jc + jr * NR;
                     let jlim = NR.min(jc + nb - j_base);
@@ -750,16 +761,22 @@ pub fn gemm_rows_with_isa<T: Scalar>(
     assert_eq!(c.len(), m * n, "C storage size mismatch");
     assert!(rows.end <= m, "row range out of bounds");
     if TypeId::of::<T>() == TypeId::of::<F16>() {
-        // SAFETY: `T` is exactly `F16` (checked above), so each cast is
-        // the identity; lifetimes are preserved by the reborrow.
-        let (a16, b16, c16, arena16) = unsafe {
-            (
-                &*(a as *const Matrix<T>).cast::<Matrix<F16>>(),
-                &*(b as *const Matrix<T>).cast::<Matrix<F16>>(),
-                &*(c as *const DisjointSlice<'_, T>).cast::<DisjointSlice<'_, F16>>(),
-                &mut *(arena as *mut PackArena<T>).cast::<PackArena<F16>>(),
-            )
-        };
+        // `T` is exactly `F16`, so the owned matrices downcast safely
+        // through `Any`; the widened pack buffers come from the typed
+        // accessor, so no `PackArena` is ever reinterpreted across
+        // scalar types.
+        let a16 = (a as &dyn Any)
+            .downcast_ref::<Matrix<F16>>()
+            .expect("T is F16");
+        let b16 = (b as &dyn Any)
+            .downcast_ref::<Matrix<F16>>()
+            .expect("T is F16");
+        // SAFETY: `T` is exactly `F16` (checked above), so the cast is
+        // the identity; the slice's lifetime is preserved by the
+        // reborrow. (`DisjointSlice` borrows `C`, so it cannot go
+        // through `Any`'s `'static` bound like the matrices above.)
+        let c16 = unsafe { &*(c as *const DisjointSlice<'_, T>).cast::<DisjointSlice<'_, F16>>() };
+        let (aw, bw) = arena.widened();
         let run = match (params.tile.mr, params.tile.nr) {
             (4, 4) => run_blocked_f16::<4, 4>,
             (8, 4) => run_blocked_f16::<8, 4>,
@@ -775,7 +792,8 @@ pub fn gemm_rows_with_isa<T: Scalar>(
             c_layout,
             rows,
             &params.blocks,
-            arena16,
+            aw,
+            bw,
             isa,
         );
     }

@@ -21,6 +21,9 @@
 //!   pinning.
 //! * [`RegionStats`] — per-region instrumentation: items and chunks per
 //!   thread, load imbalance, fork-join overhead.
+//! * [`WorkQueue`] — a submit-from-outside task queue drained by the pool's
+//!   team, for serving workloads where work arrives continuously instead of
+//!   as one up-front index space.
 //! * [`SenseBarrier`] — a reusable sense-reversing barrier.
 //! * [`DisjointSlice`] — safe disjoint mutable access for row-parallel
 //!   kernels.
@@ -30,6 +33,7 @@
 mod barrier;
 mod pad;
 mod pool;
+mod queue;
 mod reduce;
 mod schedule;
 mod slice;
@@ -39,6 +43,7 @@ mod topology;
 pub use barrier::SenseBarrier;
 pub use pad::CachePadded;
 pub use pool::{ForContext, ThreadPool};
+pub use queue::WorkQueue;
 pub use schedule::{Chunk, Schedule, StaticChunks};
 pub use slice::DisjointSlice;
 pub use stats::RegionStats;

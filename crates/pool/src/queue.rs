@@ -1,0 +1,281 @@
+//! A submit-from-outside work queue on top of the fork-join pool.
+//!
+//! Every other entry point of this crate assumes work enters through a
+//! coordinator-owned parallel region (`parallel_for` and friends): the
+//! caller describes the whole index space up front and blocks until the
+//! team finishes it. A *serving* workload inverts that shape — tasks
+//! arrive continuously from outside the team, and new work must be
+//! enqueueable while earlier work is still draining. [`WorkQueue`] is
+//! that inversion: any thread may [`submit`] boxed tasks at any time, and
+//! [`drain`] turns the pool's whole team loose on the queue until it is
+//! observed empty.
+//!
+//! Two properties the batched-GEMM serving path leans on:
+//!
+//! * **Submit/drain overlap.** `submit` never blocks on a running drain;
+//!   workers pick freshly submitted tasks up within the same drain as
+//!   long as they are still popping (tasks may also submit follow-up
+//!   tasks, which the same drain executes).
+//! * **Loud poisoning.** A panicking task propagates out of [`drain`]
+//!   (via the pool's panic protocol) and leaves the queue *poisoned*:
+//!   every later `submit`/`drain` panics with a clear message instead of
+//!   silently dropping work or deadlocking. [`WorkQueue::clear_poison`]
+//!   restores an explicitly acknowledged queue, mirroring
+//!   `std::sync::Mutex` semantics.
+//!
+//! [`submit`]: WorkQueue::submit
+//! [`drain`]: WorkQueue::drain
+
+use crate::pool::ThreadPool;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueInner {
+    tasks: Mutex<VecDeque<Task>>,
+    /// Tasks ever submitted (monotonic).
+    submitted: AtomicUsize,
+    /// Tasks that ran to completion (monotonic).
+    completed: AtomicUsize,
+    /// Set when a task panicked during a drain.
+    poisoned: AtomicBool,
+}
+
+/// A cloneable handle to a shared task queue drained by a [`ThreadPool`]
+/// team (the module-level docs state the ordering and poison contract).
+///
+/// ```
+/// use perfport_pool::{ThreadPool, WorkQueue};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4);
+/// let queue = WorkQueue::new();
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     queue.submit(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// assert_eq!(queue.drain(&pool), 100);
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+#[derive(Clone)]
+pub struct WorkQueue {
+    inner: Arc<QueueInner>,
+}
+
+impl Default for WorkQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        WorkQueue {
+            inner: Arc::new(QueueInner {
+                tasks: Mutex::new(VecDeque::new()),
+                submitted: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                poisoned: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    fn assert_healthy(&self) {
+        assert!(
+            !self.inner.poisoned.load(Ordering::Acquire),
+            "work queue is poisoned: a task panicked during an earlier drain \
+             (clear_poison() to acknowledge and reuse)"
+        );
+    }
+
+    /// Enqueues a task. Callable from any thread, including while another
+    /// thread is draining — an in-flight drain picks the task up if its
+    /// workers are still popping, otherwise the next drain runs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is poisoned.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.assert_healthy();
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.tasks.lock().push_back(Box::new(task));
+    }
+
+    /// Pops one task, or `None` when the queue is currently empty.
+    fn pop(&self) -> Option<Task> {
+        self.inner.tasks.lock().pop_front()
+    }
+
+    /// Tasks submitted but not yet completed (queued plus in-flight).
+    pub fn pending(&self) -> usize {
+        self.inner.submitted.load(Ordering::Relaxed) - self.inner.completed.load(Ordering::Relaxed)
+    }
+
+    /// Tasks currently queued (excluding in-flight ones).
+    pub fn len(&self) -> usize {
+        self.inner.tasks.lock().len()
+    }
+
+    /// `true` when nothing is queued (in-flight tasks may still exist).
+    pub fn is_empty(&self) -> bool {
+        self.inner.tasks.lock().is_empty()
+    }
+
+    /// Whether a task panic has poisoned the queue.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Acknowledges a poisoning and makes the queue usable again. Tasks
+    /// that were queued when the panic struck remain queued and run on
+    /// the next drain.
+    pub fn clear_poison(&self) {
+        self.inner.poisoned.store(false, Ordering::Release);
+    }
+
+    /// Runs queued tasks on the pool's whole team until the queue is
+    /// observed empty, then returns how many tasks completed during this
+    /// call. Tasks submitted concurrently are executed if a worker is
+    /// still popping when they arrive; tasks submitted after the final
+    /// empty observation wait for the next drain.
+    ///
+    /// When this returns, every task it executed has fully finished (the
+    /// region join is the happens-before edge), so results written by
+    /// those tasks are visible to the caller.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first task panic (after marking the queue
+    /// poisoned), and panics immediately if the queue is already
+    /// poisoned.
+    pub fn drain(&self, pool: &ThreadPool) -> usize {
+        let ran = AtomicUsize::new(0);
+        loop {
+            self.assert_healthy();
+            if self.is_empty() {
+                return ran.into_inner();
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run_region(&|_tid| {
+                    while let Some(task) = self.pop() {
+                        task();
+                        self.inner.completed.fetch_add(1, Ordering::Relaxed);
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }));
+            if let Err(panic) = result {
+                self.inner.poisoned.store(true, Ordering::Release);
+                resume_unwind(panic);
+            }
+        }
+    }
+
+    /// [`WorkQueue::drain`] on the calling thread alone — the
+    /// deterministic single-worker path (useful when no pool exists or a
+    /// serving harness runs with one job).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`WorkQueue::drain`].
+    pub fn drain_serial(&self) -> usize {
+        let mut ran = 0usize;
+        loop {
+            self.assert_healthy();
+            let Some(task) = self.pop() else {
+                return ran;
+            };
+            let result = catch_unwind(AssertUnwindSafe(task));
+            if let Err(panic) = result {
+                self.inner.poisoned.store(true, Ordering::Release);
+                resume_unwind(panic);
+            }
+            self.inner.completed.fetch_add(1, Ordering::Relaxed);
+            ran += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn drain_runs_every_task_once() {
+        let pool = ThreadPool::new(4);
+        let queue = WorkQueue::new();
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..200).map(|_| AtomicUsize::new(0)).collect());
+        for i in 0..200 {
+            let counts = Arc::clone(&counts);
+            queue.submit(move || {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(queue.pending(), 200);
+        assert_eq!(queue.drain(&pool), 200);
+        assert_eq!(queue.pending(), 0);
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        let queue = WorkQueue::new();
+        assert_eq!(queue.drain(&pool), 0);
+        assert_eq!(queue.drain_serial(), 0);
+        assert!(queue.is_empty() && !queue.is_poisoned());
+    }
+
+    #[test]
+    fn tasks_may_submit_follow_up_tasks() {
+        let pool = ThreadPool::new(3);
+        let queue = WorkQueue::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let q = queue.clone();
+            let hits = Arc::clone(&hits);
+            queue.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                let hits = Arc::clone(&hits);
+                q.submit(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        }
+        // One drain call handles both generations: the outer loop re-runs
+        // a region if follow-ups landed after the workers went idle.
+        assert_eq!(queue.drain(&pool), 20);
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn drain_serial_runs_on_the_calling_thread() {
+        let queue = WorkQueue::new();
+        let caller = std::thread::current().id();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let seen = Arc::clone(&seen);
+            queue.submit(move || {
+                seen.lock().push((i, std::thread::current().id()));
+            });
+        }
+        assert_eq!(queue.drain_serial(), 5);
+        let seen = seen.lock();
+        assert_eq!(
+            seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(seen.iter().all(|(_, t)| *t == caller));
+    }
+}

@@ -1,0 +1,192 @@
+//! Work-queue stress: concurrent external submission, drain-while-
+//! submitting, and panic propagation. Mirrors `panic_stress.rs` — a
+//! poisoned queue must fail loudly (panicking `submit`/`drain`) instead
+//! of deadlocking, and both the queue (after `clear_poison`) and the
+//! pool must stay fully usable afterwards.
+//!
+//! Run this suite both ways (the behaviour must not depend on test
+//! parallelism):
+//!
+//! ```text
+//! cargo test -p perfport-pool --test queue_stress
+//! RUST_TEST_THREADS=1 cargo test -p perfport-pool --test queue_stress
+//! ```
+
+use perfport_pool::{Schedule, ThreadPool, WorkQueue};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Many external threads submit concurrently while the main thread
+/// drains: every task runs exactly once, none are lost.
+#[test]
+fn concurrent_external_submitters() {
+    const SUBMITTERS: usize = 6;
+    const PER_THREAD: usize = 200;
+    let pool = ThreadPool::new(4);
+    let queue = WorkQueue::new();
+    let counts: Arc<Vec<AtomicUsize>> = Arc::new(
+        (0..SUBMITTERS * PER_THREAD)
+            .map(|_| AtomicUsize::new(0))
+            .collect(),
+    );
+    std::thread::scope(|s| {
+        for t in 0..SUBMITTERS {
+            let queue = queue.clone();
+            let counts = Arc::clone(&counts);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let counts = Arc::clone(&counts);
+                    queue.submit(move || {
+                        counts[t * PER_THREAD + i].fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        // Drain races the submitters: whatever one drain call misses
+        // (submitted after its final empty observation), later calls
+        // pick up. Keep draining until every submitted task has run.
+        let mut ran = 0;
+        while ran < SUBMITTERS * PER_THREAD {
+            ran += queue.drain(&pool);
+            std::thread::yield_now();
+        }
+    });
+    assert_eq!(queue.pending(), 0);
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+}
+
+/// A drain that is already running picks up tasks submitted mid-drain
+/// as long as workers are popping; tasks landing after the final empty
+/// observation are served by the next drain, never lost.
+#[test]
+fn drain_while_submitting() {
+    let pool = ThreadPool::new(3);
+    let queue = WorkQueue::new();
+    let hits = Arc::new(AtomicUsize::new(0));
+    for round in 0..20 {
+        let before = hits.load(Ordering::Relaxed);
+        // Seed tasks that themselves submit follow-ups (submission
+        // genuinely concurrent with the drain's popping).
+        for _ in 0..8 {
+            let q = queue.clone();
+            let hits = Arc::clone(&hits);
+            queue.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..3 {
+                    let hits = Arc::clone(&hits);
+                    q.submit(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        let mut ran = queue.drain(&pool);
+        while ran < 8 * 4 {
+            ran += queue.drain(&pool);
+        }
+        assert_eq!(ran, 8 * 4, "round {round}: task lost or duplicated");
+        assert_eq!(hits.load(Ordering::Relaxed), before + 8 * 4);
+        assert!(queue.is_empty() && queue.pending() == 0);
+    }
+}
+
+/// A panicking task propagates out of `drain`, poisons the queue, and
+/// later `submit`/`drain` calls fail loudly — no deadlock, no silent
+/// drop. `clear_poison` restores service and the pool stays usable
+/// throughout.
+#[test]
+fn task_panic_poisons_the_queue_loudly() {
+    let pool = ThreadPool::new(4);
+    let queue = WorkQueue::new();
+    let ran = Arc::new(AtomicUsize::new(0));
+    for round in 0..25 {
+        for i in 0..16 {
+            let ran = Arc::clone(&ran);
+            queue.submit(move || {
+                if i == 7 {
+                    panic!("induced task panic in round {round}");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| queue.drain(&pool)));
+        assert!(result.is_err(), "round {round}: panic did not propagate");
+        assert!(queue.is_poisoned(), "round {round}: queue not poisoned");
+
+        // Loud failure, not deadlock: both entry points panic fast.
+        assert!(catch_unwind(AssertUnwindSafe(|| queue.submit(|| {}))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| queue.drain(&pool))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| queue.drain_serial())).is_err());
+
+        // Acknowledge and resume: leftover tasks still run.
+        queue.clear_poison();
+        queue.drain(&pool);
+        assert!(queue.is_empty() && !queue.is_poisoned());
+
+        // The pool itself survived the panic round (panic_stress.rs
+        // invariant, re-checked through the queue's usage pattern).
+        let stats = pool.parallel_for_each(64, Schedule::Dynamic { chunk: 3 }, |_| {});
+        assert_eq!(stats.total_items(), 64, "round {round}: pool wedged");
+    }
+    // Every non-panicking task ran exactly once overall (15 per round
+    // across the poisoned drain and the post-clear drain).
+    assert_eq!(ran.load(Ordering::Relaxed), 25 * 15);
+}
+
+/// Simultaneous panics from several tasks in one drain collapse into one
+/// propagated panic and a single coherent poisoned state.
+#[test]
+fn simultaneous_task_panics_join_cleanly() {
+    let pool = ThreadPool::new(8);
+    let queue = WorkQueue::new();
+    for _ in 0..10 {
+        for _ in 0..8 {
+            queue.submit(|| panic!("every task panics"));
+        }
+        assert!(catch_unwind(AssertUnwindSafe(|| queue.drain(&pool))).is_err());
+        assert!(queue.is_poisoned());
+        queue.clear_poison();
+        // Whatever tasks the panic round left queued are abandoned by
+        // clearing: run them (each panics again) or clear the backlog.
+        while !queue.is_empty() {
+            let _ = catch_unwind(AssertUnwindSafe(|| queue.drain_serial()));
+            queue.clear_poison();
+        }
+        assert_eq!(queue.drain(&pool), 0);
+    }
+    let stats = pool.parallel_for_each(8, Schedule::StaticBlock, |_| {});
+    assert_eq!(stats.total_items(), 8);
+}
+
+/// Queues race with heavy concurrent use from multiple pools without
+/// deadlock (the queue-flavoured sibling of panic_stress's multi-pool
+/// test).
+#[test]
+fn many_queues_panicking_concurrently() {
+    std::thread::scope(|s| {
+        for p in 0..4 {
+            s.spawn(move || {
+                let pool = ThreadPool::new(2 + p % 3);
+                let queue = WorkQueue::new();
+                for round in 0..10 {
+                    for i in 0..12 {
+                        queue.submit(move || {
+                            if i % 5 == round % 5 {
+                                panic!("queue {p} round {round}");
+                            }
+                        });
+                    }
+                    let _ = catch_unwind(AssertUnwindSafe(|| queue.drain(&pool)));
+                    queue.clear_poison();
+                    while !queue.is_empty() {
+                        let _ = catch_unwind(AssertUnwindSafe(|| queue.drain_serial()));
+                        queue.clear_poison();
+                    }
+                    let done = queue.drain(&pool);
+                    assert_eq!(done, 0, "queue {p} round {round}: backlog survived");
+                }
+            });
+        }
+    });
+}

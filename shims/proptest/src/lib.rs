@@ -2,9 +2,9 @@
 //!
 //! Provides the strategy combinators and macros the workspace's
 //! property tests use: range strategies over ints and floats, tuple
-//! strategies, `bool::ANY`, `collection::vec`, `option::weighted`, the
-//! `proptest!` macro with `#![proptest_config(...)]`, and the
-//! `prop_assert*` macros.
+//! strategies (up to arity 8), `prop_map`, `bool::ANY`,
+//! `collection::vec`, `option::weighted`, the `proptest!` macro with
+//! `#![proptest_config(...)]`, and the `prop_assert*` macros.
 //!
 //! Differences from upstream, deliberately accepted:
 //!
@@ -264,6 +264,16 @@ mod tests {
         #[test]
         fn inclusive_range(bits in 0u16..=0xffff) {
             let _ = bits; // full domain: nothing to violate
+        }
+
+        /// `prop_map` transforms generated values and composes with
+        /// tuples and `collection::vec`.
+        #[test]
+        fn prop_map_composes(v in crate::collection::vec((0usize..5, 0usize..5).prop_map(|(a, b)| a + b), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for s in v {
+                prop_assert!(s <= 8);
+            }
         }
     }
 
