@@ -74,18 +74,32 @@ fn main() {
     let base = load(base_path);
     let cand = load(cand_path);
     let isa_of = |s: &Snapshot| s.simd_isa.clone().unwrap_or_else(|| "unknown".to_string());
+    let sched_of = |s: &Snapshot| s.sched.clone().unwrap_or_else(|| "unknown".to_string());
     println!(
-        "baseline:  {base_path} ({}, {} points, isa {})",
+        "baseline:  {base_path} ({}, {} points, isa {}, sched {})",
         base.schema,
         base.points.len(),
-        isa_of(&base)
+        isa_of(&base),
+        sched_of(&base)
     );
     println!(
-        "candidate: {cand_path} ({}, {} points, isa {})",
+        "candidate: {cand_path} ({}, {} points, isa {}, sched {})",
         cand.schema,
         cand.points.len(),
-        isa_of(&cand)
+        isa_of(&cand),
+        sched_of(&cand)
     );
+    if let (Some(bs), Some(cs)) = (&base.sched, &cand.sched) {
+        if bs != cs {
+            // A scheduler A/B is a legitimate comparison (that is how the
+            // graph scheduler is evaluated), so this never gates — but the
+            // delta includes the scheduling change, so say so.
+            eprintln!(
+                "warning: snapshots were produced under different schedulers \
+                 ({bs} vs {cs}); differences below include the scheduling change"
+            );
+        }
+    }
     match (&base.simd_isa, &cand.simd_isa) {
         (Some(bi), Some(ci)) if bi != ci => {
             // Different dispatched microkernels are a legitimate A/B run

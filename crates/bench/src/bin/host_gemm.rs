@@ -220,6 +220,7 @@ fn json_snapshot(points: &[SizePoint], manifest: &Manifest, reps: usize, quick: 
         out,
         "  \"protocol\": {{\"reps\": {reps}, \"warmup_runs\": 1, \"metric\": \"gflops\", \"spread\": \"rel_half_range\"}},"
     );
+    let _ = writeln!(out, "  \"sched\": {},", perfport_bench::sched_totals_json());
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let (bn_name, bn) = p.best_naive();
@@ -275,6 +276,7 @@ fn json_snapshot(points: &[SizePoint], manifest: &Manifest, reps: usize, quick: 
 
 fn main() {
     let args = HarnessArgs::from_env();
+    let sched = args.apply_sched();
     args.start_profiling();
     let trace = args.start_trace();
     let reps = if args.quick { 3 } else { 5 };
@@ -282,7 +284,7 @@ fn main() {
     let pool = ThreadPool::new(workers);
     let manifest = Manifest::collect(workers);
     println!(
-        "host: {workers} workers; caches L1d={}K L2={}K L3={}K ({}); {reps} reps after warm-up; counters {}; tuned microkernel ISA: {}\n",
+        "host: {workers} workers; caches L1d={}K L2={}K L3={}K ({}); {reps} reps after warm-up; counters {}; tuned microkernel ISA: {}; scheduler: {sched}\n",
         manifest.cache.l1d_bytes / 1024,
         manifest.cache.l2_bytes / 1024,
         manifest.cache.l3_bytes / 1024,

@@ -35,15 +35,15 @@
 use perfport_bench::{HarnessArgs, Manifest};
 use perfport_core::noise;
 use perfport_gemm::{batch, Layout, Matrix};
-use perfport_pool::{ThreadPool, WorkQueue};
+use perfport_pool::{SchedMode, ThreadPool, WorkQueue};
 use rand::Rng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const USAGE: &str =
     "usage: serve_gemm [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile] \
-     [--seed <u64>] [--requests <n>] [--rate <req/s>] [--batch <max>] [--jobs <n>] \
-     [--dry-run] [--verify] [--out <path>]";
+     [--sched barrier|graph] [--seed <u64>] [--requests <n>] [--rate <req/s>] [--batch <max>] \
+     [--jobs <n>] [--dry-run] [--verify] [--out <path>]";
 
 /// Modelled server throughput for `--dry-run` service times (GFLOP/s).
 /// Deliberately round and machine-independent: dry-run output must be
@@ -333,6 +333,7 @@ fn serve(
     batch_max: usize,
     pool: &ThreadPool,
     verify: bool,
+    sched: SchedMode,
 ) -> ServeSummary {
     let queue = WorkQueue::new();
     let mut latencies_ns = Vec::with_capacity(stream.len());
@@ -342,13 +343,28 @@ fn serve(
     let mut verified = 0usize;
     for reqs in stream.chunks(batch_max) {
         let problems: Vec<batch::Problem> = reqs.iter().map(|r| materialize(seed, r)).collect();
-        let t0 = Instant::now();
-        let ticket = batch::enqueue_batch(&queue, problems);
-        queue.drain(pool);
-        let service_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        if verify {
-            let serial = batch::gemm_batch_serial(ticket.problems());
-            let outputs = ticket.collect();
+        // Barrier mode serves through the WorkQueue (enqueue + drain, one
+        // barrier per batch); graph mode runs the batch as independent
+        // task-graph tasks. Both execute the canonical bucketed order,
+        // so the outputs are bitwise identical either way.
+        let (outputs, service_ns, serial) = match sched {
+            SchedMode::Barrier => {
+                let t0 = Instant::now();
+                let ticket = batch::enqueue_batch(&queue, problems);
+                queue.drain(pool);
+                let service_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                let serial = verify.then(|| batch::gemm_batch_serial(ticket.problems()));
+                (ticket.collect(), service_ns, serial)
+            }
+            SchedMode::Graph => {
+                let t0 = Instant::now();
+                let outputs = batch::gemm_batch_with(pool, &problems, sched);
+                let service_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                let serial = verify.then(|| batch::gemm_batch_serial(&problems));
+                (outputs, service_ns, serial)
+            }
+        };
+        if let Some(serial) = serial {
             for (i, (b, s)) in outputs.iter().zip(&serial).enumerate() {
                 assert_eq!(
                     b.to_le_bytes(),
@@ -359,7 +375,7 @@ fn serve(
             }
             verified += outputs.len();
         } else {
-            std::hint::black_box(ticket.collect());
+            std::hint::black_box(&outputs);
         }
         last_completion =
             advance_timeline(reqs, service_ns, &mut server_free_ns, &mut latencies_ns);
@@ -416,6 +432,7 @@ fn json_snapshot(
         "  \"sustained_gflops\": {:.4},",
         summary.sustained_gflops()
     );
+    let _ = writeln!(out, "  \"sched\": {},", perfport_bench::sched_totals_json());
     let _ = writeln!(out, "  \"req_per_s\": {:.2}", summary.req_per_s());
     out.push_str("}\n");
     out
@@ -481,6 +498,7 @@ fn main() {
         return;
     }
 
+    let sched = args.apply_sched();
     args.start_profiling();
     let jobs = serve_args.jobs.unwrap_or_else(|| args.thread_count());
     let trace = args.start_trace_with(|m| m.jobs = Some(jobs));
@@ -488,7 +506,7 @@ fn main() {
     let mut manifest = Manifest::collect(jobs);
     manifest.jobs = Some(jobs);
     println!(
-        "== serve_gemm (seed {}, {} requests, rate {} req/s, batch max {}, {jobs} jobs) ==",
+        "== serve_gemm (seed {}, {} requests, rate {} req/s, batch max {}, {jobs} jobs, {sched} scheduler) ==",
         serve_args.seed,
         stream.len(),
         serve_args.rate,
@@ -500,6 +518,7 @@ fn main() {
         serve_args.batch_max,
         &pool,
         serve_args.verify,
+        sched,
     );
     summary.print("measured");
     if args.csv {

@@ -45,6 +45,10 @@ pub struct Snapshot {
     /// embedded manifest's `simd_isa` field (`/2` snapshots produced
     /// since the dispatcher landed); `None` for older files.
     pub simd_isa: Option<String>,
+    /// Scheduler discipline of the producing run (`"barrier"` /
+    /// `"graph"`), from the embedded manifest's `sched` field; `None`
+    /// for files that predate the scheduler dispatch.
+    pub sched: Option<String>,
     /// All recorded points, in file order.
     pub points: Vec<SnapshotPoint>,
 }
@@ -119,6 +123,7 @@ fn parse_serve(
     schema: String,
     quick: bool,
     simd_isa: Option<String>,
+    sched: Option<String>,
 ) -> Result<Snapshot, String> {
     let requests = doc
         .get("workload")
@@ -153,6 +158,7 @@ fn parse_serve(
         schema,
         quick,
         simd_isa,
+        sched,
         points: vec![SnapshotPoint {
             n: requests,
             precision: "SERVE".to_string(),
@@ -178,8 +184,13 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         .and_then(|m| m.get("simd_isa"))
         .and_then(Json::as_str)
         .map(str::to_string);
+    let sched = doc
+        .get("manifest")
+        .and_then(|m| m.get("sched"))
+        .and_then(Json::as_str)
+        .map(str::to_string);
     if schema.starts_with("perfport-bench-serve/") {
-        return parse_serve(&doc, schema, quick, simd_isa);
+        return parse_serve(&doc, schema, quick, simd_isa, sched);
     }
     if !schema.starts_with("perfport-bench-gemm/") {
         return Err(format!("not a bench snapshot: schema '{schema}'"));
@@ -195,6 +206,7 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         schema,
         quick,
         simd_isa,
+        sched,
         points,
     })
 }
@@ -345,6 +357,28 @@ mod tests {
         );
         let snap = parse_snapshot(&with_manifest).unwrap();
         assert_eq!(snap.simd_isa.as_deref(), Some("avx512"));
+    }
+
+    #[test]
+    fn sched_is_read_from_the_manifest_when_present() {
+        // Pre-scheduler snapshots carry no sched field: None, not an error.
+        assert_eq!(parse_snapshot(V2).unwrap().sched, None);
+        let with_manifest = V2.replacen(
+            "\"quick\": true,",
+            "\"quick\": true,\n      \"manifest\": {\"schema\": \"perfport-manifest/1\", \"simd_isa\": \"avx2\", \"sched\": \"graph\"},",
+            1,
+        );
+        let snap = parse_snapshot(&with_manifest).unwrap();
+        assert_eq!(snap.sched.as_deref(), Some("graph"));
+        let serve = SERVE.replacen(
+            "\"simd_isa\": \"avx2\"",
+            "\"simd_isa\": \"avx2\", \"sched\": \"barrier\"",
+            1,
+        );
+        assert_eq!(
+            parse_snapshot(&serve).unwrap().sched.as_deref(),
+            Some("barrier")
+        );
     }
 
     const SERVE: &str = r#"{

@@ -48,13 +48,17 @@ use crate::matrix::{Layout, Matrix};
 use crate::scalar::Scalar;
 use crate::simd::{self, Isa};
 use perfport_half::F16;
-use perfport_pool::{CacheInfo, DisjointSlice, RegionStats, Schedule, ThreadPool};
+use perfport_pool::{
+    CacheInfo, DisjointSlice, GraphStats, RegionStats, SchedMode, Schedule, TaskGraph, TaskId,
+    ThreadPool,
+};
 use std::any::{Any, TypeId};
-use std::cell::RefCell;
+use std::cell::{RefCell, UnsafeCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Register-tile extents of the microkernel: `MR` rows × `NR` columns of
 /// `C` accumulated in registers.
@@ -253,6 +257,17 @@ impl<T: Scalar> AlignedBuf<T> {
         // SAFETY: `ptr` covers `cap >= len` zero-initialised (hence
         // valid) scalars and is exclusively owned.
         unsafe { std::slice::from_raw_parts_mut(self.ptr, len) }
+    }
+
+    /// The first `len` elements, read-only. `len` must not exceed the
+    /// capacity a prior [`AlignedBuf::slice_for`] established.
+    fn as_slice(&self, len: usize) -> &[T] {
+        assert!(len <= self.cap, "reading past the packed region");
+        if len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` covers `cap >= len` valid scalars.
+        unsafe { std::slice::from_raw_parts(self.ptr, len) }
     }
 }
 
@@ -530,72 +545,225 @@ fn pack_b_f16(
 
 // ------------------------------------------------------------- driver --
 
-/// The blocked loop nest over one contiguous row range of `C`.
+/// The scalar-flavour hooks of the blocked loop nest: how `A`/`B` panels
+/// are packed (possibly widened), how an accumulator value lands in `C`,
+/// and which arena buffers the packs use. The loop nest itself is
+/// written exactly once ([`run_blocked`], [`compute_block`],
+/// [`run_pipelined`]) and parameterized over an implementation:
+///
+/// * [`PlainOps`] — `f64`/`f32` (and any hardware float): packs copy,
+///   the accumulator adds in place.
+/// * [`WidenedF16Ops`] — the software-half path: packs convert
+///   `f16 → f32`, the contraction runs the native `f32` microkernel, and
+///   each `C` element is re-rounded to `f16` once per `Kc` panel. One
+///   rounding per panel (instead of one per multiply-accumulate) makes
+///   this path *more* accurate than the naive software-half kernels, and
+///   the rounding points are a fixed function of the `Kc` blocking, so
+///   serial ≡ parallel still holds bitwise per dispatched kernel.
+trait PackOps {
+    /// Element type of `A`, `B`, and `C`.
+    type Src: Scalar;
+    /// Element type inside packed panels and the microkernel.
+    type Pack: Scalar;
+
+    /// Packs one `A` block (see [`pack_a`]); returns bytes copied.
+    fn pack_a(
+        a: &Matrix<Self::Src>,
+        i0: usize,
+        mb: usize,
+        p0: usize,
+        kb: usize,
+        mr: usize,
+        buf: &mut AlignedBuf<Self::Pack>,
+    ) -> u64;
+
+    /// Packs one `B` panel (see [`pack_b`]); returns bytes copied.
+    fn pack_b(
+        b: &Matrix<Self::Src>,
+        p0: usize,
+        kb: usize,
+        j0: usize,
+        nb: usize,
+        nr: usize,
+        buf: &mut AlignedBuf<Self::Pack>,
+    ) -> u64;
+
+    /// Accumulates one microkernel output element into `C`.
+    fn accumulate(c: &mut Self::Src, v: Self::Pack);
+
+    /// The arena buffers (`A`, `B`) this flavour packs into.
+    fn bufs(
+        arena: &mut PackArena<Self::Src>,
+    ) -> (&mut AlignedBuf<Self::Pack>, &mut AlignedBuf<Self::Pack>);
+}
+
+/// [`PackOps`] for scalars whose packed panels hold the scalar itself.
+struct PlainOps<T>(std::marker::PhantomData<T>);
+
+impl<T: Scalar> PackOps for PlainOps<T> {
+    type Src = T;
+    type Pack = T;
+
+    fn pack_a(
+        a: &Matrix<T>,
+        i0: usize,
+        mb: usize,
+        p0: usize,
+        kb: usize,
+        mr: usize,
+        buf: &mut AlignedBuf<T>,
+    ) -> u64 {
+        pack_a(a, i0, mb, p0, kb, mr, buf)
+    }
+
+    fn pack_b(
+        b: &Matrix<T>,
+        p0: usize,
+        kb: usize,
+        j0: usize,
+        nb: usize,
+        nr: usize,
+        buf: &mut AlignedBuf<T>,
+    ) -> u64 {
+        pack_b(b, p0, kb, j0, nb, nr, buf)
+    }
+
+    #[inline(always)]
+    fn accumulate(c: &mut T, v: T) {
+        *c += v;
+    }
+
+    fn bufs(arena: &mut PackArena<T>) -> (&mut AlignedBuf<T>, &mut AlignedBuf<T>) {
+        (&mut arena.a, &mut arena.b)
+    }
+}
+
+/// [`PackOps`] for the widened software-half path (`F16` source, `f32`
+/// panels and microkernel).
+struct WidenedF16Ops;
+
+impl PackOps for WidenedF16Ops {
+    type Src = F16;
+    type Pack = f32;
+
+    fn pack_a(
+        a: &Matrix<F16>,
+        i0: usize,
+        mb: usize,
+        p0: usize,
+        kb: usize,
+        mr: usize,
+        buf: &mut AlignedBuf<f32>,
+    ) -> u64 {
+        pack_a_f16(a, i0, mb, p0, kb, mr, buf)
+    }
+
+    fn pack_b(
+        b: &Matrix<F16>,
+        p0: usize,
+        kb: usize,
+        j0: usize,
+        nb: usize,
+        nr: usize,
+        buf: &mut AlignedBuf<f32>,
+    ) -> u64 {
+        pack_b_f16(b, p0, kb, j0, nb, nr, buf)
+    }
+
+    #[inline(always)]
+    fn accumulate(c: &mut F16, v: f32) {
+        *c = F16::from_f32(c.to_f32() + v);
+    }
+
+    fn bufs(arena: &mut PackArena<F16>) -> (&mut AlignedBuf<f32>, &mut AlignedBuf<f32>) {
+        arena.widened()
+    }
+}
+
+/// One `(jc, p0)` cache panel of the blocked loop nest: column offset and
+/// width, contraction offset and depth.
+#[derive(Debug, Clone, Copy)]
+struct Panel {
+    jc: usize,
+    nb: usize,
+    p0: usize,
+    kb: usize,
+}
+
+/// The `(jc, p0)` panels of an `n×k` iteration space in the serial loop
+/// order (`jc` outer, `p0` inner) — the accumulation order per `C`
+/// element is a fixed function of this enumeration, which both
+/// schedulers share.
+fn panels(n: usize, k: usize, blocks: &BlockSizes) -> Vec<Panel> {
+    let mut out = Vec::new();
+    for jc in (0..n).step_by(blocks.nc) {
+        let nb = blocks.nc.min(n - jc);
+        for p0 in (0..k).step_by(blocks.kc) {
+            let kb = blocks.kc.min(k - p0);
+            out.push(Panel { jc, nb, p0, kb });
+        }
+    }
+    out
+}
+
+/// Packs `A` and runs the register-tiled contraction of one `Mc` row
+/// block against an already-packed `B` panel, accumulating into `C`.
+/// Shared verbatim by the barrier-mode loop nest ([`run_blocked`]) and
+/// the pipelined graph tasks ([`run_pipelined`]) — per `C` element the
+/// accumulation order is fixed by the panel enumeration and this
+/// function alone, which is what keeps the two schedulers
+/// bitwise-identical.
+///
+/// SAFETY requirement: the caller must own rows `i0..i0+mb` of `C`
+/// exclusively per the [`DisjointSlice`] contract.
 #[allow(clippy::too_many_arguments)]
-fn run_blocked<T: Scalar, const MR: usize, const NR: usize>(
-    a: &Matrix<T>,
-    b: &Matrix<T>,
-    c: &DisjointSlice<'_, T>,
+fn compute_block<P: PackOps, const MR: usize, const NR: usize>(
+    a: &Matrix<P::Src>,
+    c: &DisjointSlice<'_, P::Src>,
     c_shape: (usize, usize),
     c_layout: Layout,
-    rows: Range<usize>,
-    blocks: &BlockSizes,
-    arena: &mut PackArena<T>,
-    isa: Isa,
+    panel: Panel,
+    i0: usize,
+    mb: usize,
+    bp_all: &[P::Pack],
+    a_buf: &mut AlignedBuf<P::Pack>,
+    microkernel: simd::Microkernel<P::Pack, MR, NR>,
 ) -> TunedStats {
     let (m, n) = c_shape;
-    let k = a.cols();
-    let BlockSizes { mc, kc, nc } = *blocks;
-    let microkernel = simd::select::<T, MR, NR>(isa);
-    let mut stats = TunedStats::default();
-
-    for jc in (0..n).step_by(nc) {
-        let nb = nc.min(n - jc);
-        for p0 in (0..k).step_by(kc) {
-            let kb = kc.min(k - p0);
-            stats.pack_b_bytes += pack_b(b, p0, kb, jc, nb, NR, &mut arena.b);
-            for i0 in (rows.start..rows.end).step_by(mc) {
-                let mb = mc.min(rows.end - i0);
-                stats.pack_a_bytes += pack_a(a, i0, mb, p0, kb, MR, &mut arena.a);
-                // SAFETY below: every row index written is inside
-                // `rows`, which this call owns exclusively per the
-                // `DisjointSlice` contract.
-                let ap_all = arena.a.slice_for(mb.div_ceil(MR) * kb * MR);
-                let bp_all = arena.b.slice_for(nb.div_ceil(NR) * kb * NR);
-                for jr in 0..nb.div_ceil(NR) {
-                    let j_base = jc + jr * NR;
-                    let jlim = NR.min(jc + nb - j_base);
-                    let bp = &bp_all[jr * kb * NR..(jr + 1) * kb * NR];
-                    for ir in 0..mb.div_ceil(MR) {
-                        let i_base = i0 + ir * MR;
-                        let ilim = MR.min(i0 + mb - i_base);
-                        let ap = &ap_all[ir * kb * MR..(ir + 1) * kb * MR];
-                        let acc = microkernel(kb, ap, bp);
-                        stats.microkernel_calls += 1;
-                        match c_layout {
-                            Layout::RowMajor => {
-                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
-                                    // SAFETY: row ownership (see above).
-                                    let crow = unsafe { c.row(i_base + r, n) };
-                                    for (cj, &v) in
-                                        crow[j_base..j_base + jlim].iter_mut().zip(acc_row)
-                                    {
-                                        *cj += v;
-                                    }
-                                }
-                            }
-                            Layout::ColMajor => {
-                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
-                                    for (cix, &v) in acc_row.iter().enumerate().take(jlim) {
-                                        let idx = c_layout.index(m, n, i_base + r, j_base + cix);
-                                        // SAFETY: row ownership (see
-                                        // above); each element belongs
-                                        // to exactly one owned row.
-                                        unsafe {
-                                            *c.at(idx) += v;
-                                        }
-                                    }
-                                }
+    let Panel { jc, nb, p0, kb } = panel;
+    let mut stats = TunedStats {
+        pack_a_bytes: P::pack_a(a, i0, mb, p0, kb, MR, a_buf),
+        ..TunedStats::default()
+    };
+    let ap_all = a_buf.as_slice(mb.div_ceil(MR) * kb * MR);
+    for jr in 0..nb.div_ceil(NR) {
+        let j_base = jc + jr * NR;
+        let jlim = NR.min(jc + nb - j_base);
+        let bp = &bp_all[jr * kb * NR..(jr + 1) * kb * NR];
+        for ir in 0..mb.div_ceil(MR) {
+            let i_base = i0 + ir * MR;
+            let ilim = MR.min(i0 + mb - i_base);
+            let ap = &ap_all[ir * kb * MR..(ir + 1) * kb * MR];
+            let acc = microkernel(kb, ap, bp);
+            stats.microkernel_calls += 1;
+            match c_layout {
+                Layout::RowMajor => {
+                    for (r, acc_row) in acc.iter().enumerate().take(ilim) {
+                        // SAFETY: row ownership (see above).
+                        let crow = unsafe { c.row(i_base + r, n) };
+                        for (cj, &v) in crow[j_base..j_base + jlim].iter_mut().zip(acc_row) {
+                            P::accumulate(cj, v);
+                        }
+                    }
+                }
+                Layout::ColMajor => {
+                    for (r, acc_row) in acc.iter().enumerate().take(ilim) {
+                        for (cix, &v) in acc_row.iter().enumerate().take(jlim) {
+                            let idx = c_layout.index(m, n, i_base + r, j_base + cix);
+                            // SAFETY: row ownership (see above); each
+                            // element belongs to exactly one owned row.
+                            unsafe {
+                                P::accumulate(c.at(idx), v);
                             }
                         }
                     }
@@ -606,89 +774,272 @@ fn run_blocked<T: Scalar, const MR: usize, const NR: usize>(
     stats
 }
 
-/// The blocked loop nest for the widened `F16` path: packs convert
-/// `f16 → f32`, the contraction runs the dispatched `f32` microkernel,
-/// and each `C` element is re-rounded to `f16` once per `Kc` panel.
-///
-/// One rounding per panel (instead of one per multiply-accumulate in a
-/// straight `F16` instantiation) makes this path *more* accurate than
-/// the naive software-half kernels, and the rounding points are a fixed
-/// function of the `Kc` blocking, so serial ≡ parallel still holds
-/// bitwise per dispatched kernel.
+/// The blocked loop nest over one contiguous row range of `C`, written
+/// once for every scalar flavour (see [`PackOps`]).
 #[allow(clippy::too_many_arguments)]
-fn run_blocked_f16<const MR: usize, const NR: usize>(
-    a: &Matrix<F16>,
-    b: &Matrix<F16>,
-    c: &DisjointSlice<'_, F16>,
+fn run_blocked<P: PackOps, const MR: usize, const NR: usize>(
+    a: &Matrix<P::Src>,
+    b: &Matrix<P::Src>,
+    c: &DisjointSlice<'_, P::Src>,
     c_shape: (usize, usize),
     c_layout: Layout,
     rows: Range<usize>,
     blocks: &BlockSizes,
-    aw: &mut AlignedBuf<f32>,
-    bw: &mut AlignedBuf<f32>,
+    a_buf: &mut AlignedBuf<P::Pack>,
+    b_buf: &mut AlignedBuf<P::Pack>,
     isa: Isa,
 ) -> TunedStats {
-    let (m, n) = c_shape;
+    let (_, n) = c_shape;
     let k = a.cols();
-    let BlockSizes { mc, kc, nc } = *blocks;
-    let microkernel = simd::select::<f32, MR, NR>(isa);
+    let mc = blocks.mc;
+    let microkernel = simd::select::<P::Pack, MR, NR>(isa);
     let mut stats = TunedStats::default();
 
-    for jc in (0..n).step_by(nc) {
-        let nb = nc.min(n - jc);
-        for p0 in (0..k).step_by(kc) {
-            let kb = kc.min(k - p0);
-            stats.pack_b_bytes += pack_b_f16(b, p0, kb, jc, nb, NR, bw);
-            for i0 in (rows.start..rows.end).step_by(mc) {
-                let mb = mc.min(rows.end - i0);
-                stats.pack_a_bytes += pack_a_f16(a, i0, mb, p0, kb, MR, aw);
-                // SAFETY below: identical row-ownership argument to
-                // `run_blocked`.
-                let ap_all = aw.slice_for(mb.div_ceil(MR) * kb * MR);
-                let bp_all = bw.slice_for(nb.div_ceil(NR) * kb * NR);
-                for jr in 0..nb.div_ceil(NR) {
-                    let j_base = jc + jr * NR;
-                    let jlim = NR.min(jc + nb - j_base);
-                    let bp = &bp_all[jr * kb * NR..(jr + 1) * kb * NR];
-                    for ir in 0..mb.div_ceil(MR) {
-                        let i_base = i0 + ir * MR;
-                        let ilim = MR.min(i0 + mb - i_base);
-                        let ap = &ap_all[ir * kb * MR..(ir + 1) * kb * MR];
-                        let acc = microkernel(kb, ap, bp);
-                        stats.microkernel_calls += 1;
-                        match c_layout {
-                            Layout::RowMajor => {
-                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
-                                    // SAFETY: row ownership (see above).
-                                    let crow = unsafe { c.row(i_base + r, n) };
-                                    for (cj, &v) in
-                                        crow[j_base..j_base + jlim].iter_mut().zip(acc_row)
-                                    {
-                                        *cj = F16::from_f32(cj.to_f32() + v);
-                                    }
-                                }
-                            }
-                            Layout::ColMajor => {
-                                for (r, acc_row) in acc.iter().enumerate().take(ilim) {
-                                    for (cix, &v) in acc_row.iter().enumerate().take(jlim) {
-                                        let idx = c_layout.index(m, n, i_base + r, j_base + cix);
-                                        // SAFETY: row ownership (see
-                                        // above); each element belongs
-                                        // to exactly one owned row.
-                                        unsafe {
-                                            let cj = c.at(idx);
-                                            *cj = F16::from_f32((*cj).to_f32() + v);
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+    for panel in panels(n, k, blocks) {
+        stats.pack_b_bytes += P::pack_b(b, panel.p0, panel.kb, panel.jc, panel.nb, NR, b_buf);
+        let bp_len = panel.nb.div_ceil(NR) * panel.kb * NR;
+        for i0 in (rows.start..rows.end).step_by(mc) {
+            let mb = mc.min(rows.end - i0);
+            let s = compute_block::<P, MR, NR>(
+                a,
+                c,
+                c_shape,
+                c_layout,
+                panel,
+                i0,
+                mb,
+                b_buf.as_slice(bp_len),
+                a_buf,
+                microkernel,
+            );
+            stats.pack_a_bytes += s.pack_a_bytes;
+            stats.microkernel_calls += s.microkernel_calls;
         }
     }
     stats
+}
+
+// --------------------------------------------------------- pipelining --
+
+/// Cumulative nanoseconds during which packing of `B` panel `s`
+/// overlapped microkernel execution on panel `s-1`, across every
+/// pipelined GEMM in this process.
+static PACK_OVERLAP_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative pack/compute overlap achieved by the pipelined graph
+/// scheduler in this process, in nanoseconds (also emitted per GEMM as
+/// the `gemm/tuned_pack_overlap_ns` trace counter). Zero under the
+/// barrier scheduler or a single worker — overlap needs a second thread.
+pub fn pack_overlap_ns() -> u64 {
+    PACK_OVERLAP_TOTAL.load(Ordering::Relaxed)
+}
+
+/// A packing buffer shared between graph tasks. Interior mutability is
+/// required because the pack task of panel `s` (writer) and the compute
+/// tasks of panel `s` (readers) hold the same buffer while the graph's
+/// dependency edges — not Rust borrows — serialise the access.
+struct SharedBuf<T>(UnsafeCell<AlignedBuf<T>>);
+
+impl<T: Scalar> SharedBuf<T> {
+    fn new() -> Self {
+        SharedBuf(UnsafeCell::new(AlignedBuf::new()))
+    }
+}
+
+// SAFETY: every access is ordered by TaskGraph happens-before edges:
+// pack[s] (the unique writer of buffer s % 2) depends on every reader of
+// the buffer's previous contents (compute[s-2][*]), and every reader of
+// the new contents (compute[s][*]) depends on pack[s].
+unsafe impl<T: Send> Sync for SharedBuf<T> {}
+
+/// The software-pipelined tuned GEMM: one dependency graph in which
+/// packing the next `Kc×Nc` `B` panel overlaps microkernel execution on
+/// the current panel.
+///
+/// * `B` panels are double-buffered: panel `s` packs into buffer
+///   `s % 2`, and its pack task depends only on the *readers of that
+///   buffer's previous contents* (`compute[s-2][*]`) — not on all of
+///   panel `s-1`'s compute, which is the barrier the fork-join nest
+///   paid per panel.
+/// * Compute task `(s, r)` (row block `r` against panel `s`) depends on
+///   `pack[s]` and on `compute[s-1][r]`. The second edge keeps each `C`
+///   row block's panel order exactly serial (bitwise-identical results)
+///   and guarantees no two live mutable borrows of the same row.
+/// * `A` blocks are packed inside the compute tasks via the worker's
+///   thread-local arena, exactly as in barrier mode.
+///
+/// Returns the packing/microkernel counters plus the graph run's
+/// instrumentation; the measured pack/compute overlap feeds
+/// [`pack_overlap_ns`].
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined<P: PackOps, const MR: usize, const NR: usize>(
+    pool: &ThreadPool,
+    a: &Matrix<P::Src>,
+    b: &Matrix<P::Src>,
+    c: &DisjointSlice<'_, P::Src>,
+    c_shape: (usize, usize),
+    c_layout: Layout,
+    blocks: &BlockSizes,
+    isa: Isa,
+) -> (TunedStats, GraphStats) {
+    let (m, n) = c_shape;
+    let k = a.cols();
+    let mc = blocks.mc;
+    let microkernel = simd::select::<P::Pack, MR, NR>(isa);
+    let panels = panels(n, k, blocks);
+    let row_blocks: Vec<(usize, usize)> =
+        (0..m).step_by(mc).map(|i0| (i0, mc.min(m - i0))).collect();
+    if panels.is_empty() || row_blocks.is_empty() {
+        // Nothing to contract or no C rows: C is already correct, and
+        // building pack tasks without compute readers would break the
+        // buffer-exclusivity argument above.
+        return (TunedStats::default(), TaskGraph::new().run(pool));
+    }
+
+    let pack_a_total = AtomicU64::new(0);
+    let pack_b_total = AtomicU64::new(0);
+    let micro_total = AtomicU64::new(0);
+    // Double-buffered B panels: panel s packs into buffer s % 2.
+    let b_bufs = [SharedBuf::<P::Pack>::new(), SharedBuf::<P::Pack>::new()];
+    // Overlap instrumentation: [start, end] ns since `epoch` of each
+    // panel's pack task and of its compute tasks' union window.
+    let epoch = Instant::now();
+    let pack_win: Vec<(AtomicU64, AtomicU64)> = (0..panels.len())
+        .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+        .collect();
+    let compute_win: Vec<(AtomicU64, AtomicU64)> = (0..panels.len())
+        .map(|_| (AtomicU64::new(u64::MAX), AtomicU64::new(0)))
+        .collect();
+
+    let mut graph = TaskGraph::new();
+    // compute[s-1][*] / compute[s-2][*] ids, carried across panels
+    // (including jc boundaries — row-block order stays serial end to
+    // end).
+    let mut one_ago: Vec<TaskId> = Vec::new();
+    let mut two_ago: Vec<TaskId> = Vec::new();
+    for (s, &panel) in panels.iter().enumerate() {
+        let buf = &b_bufs[s % 2];
+        let (pb_total, pwin) = (&pack_b_total, &pack_win[s]);
+        let pack = graph.add(&two_ago, move || {
+            let t0 = epoch.elapsed().as_nanos() as u64;
+            // SAFETY: exclusive access per the SharedBuf contract.
+            let b_buf = unsafe { &mut *buf.0.get() };
+            let bytes = P::pack_b(b, panel.p0, panel.kb, panel.jc, panel.nb, NR, b_buf);
+            pb_total.fetch_add(bytes, Ordering::Relaxed);
+            pwin.0.store(t0, Ordering::Relaxed);
+            pwin.1
+                .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        });
+        let mut this_panel = Vec::with_capacity(row_blocks.len());
+        for (r, &(i0, mb)) in row_blocks.iter().enumerate() {
+            let deps: Vec<TaskId> = match one_ago.get(r) {
+                Some(&prev) => vec![pack, prev],
+                None => vec![pack],
+            };
+            let (pa_total, mk_total) = (&pack_a_total, &micro_total);
+            let cwin = &compute_win[s];
+            let id = graph.add(&deps, move || {
+                let t0 = epoch.elapsed().as_nanos() as u64;
+                let bp_len = panel.nb.div_ceil(NR) * panel.kb * NR;
+                // SAFETY: shared read access per the SharedBuf contract
+                // (pack[s] happened-before this task).
+                let bp_all = unsafe { (*buf.0.get()).as_slice(bp_len) };
+                let stats = with_thread_arena(|arena: &mut PackArena<P::Src>| {
+                    let (a_buf, _) = P::bufs(arena);
+                    compute_block::<P, MR, NR>(
+                        a,
+                        c,
+                        c_shape,
+                        c_layout,
+                        panel,
+                        i0,
+                        mb,
+                        bp_all,
+                        a_buf,
+                        microkernel,
+                    )
+                });
+                pa_total.fetch_add(stats.pack_a_bytes, Ordering::Relaxed);
+                mk_total.fetch_add(stats.microkernel_calls, Ordering::Relaxed);
+                cwin.0.fetch_min(t0, Ordering::Relaxed);
+                cwin.1
+                    .fetch_max(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+            this_panel.push(id);
+        }
+        two_ago = std::mem::replace(&mut one_ago, this_panel);
+    }
+    let gstats = graph.run(pool);
+
+    // Pipelining yield: how long pack[s] ran while panel s-1 was still
+    // computing. (With one worker or one panel this is zero.)
+    let mut overlap = 0u64;
+    for s in 1..panels.len() {
+        let (ps, pe) = (
+            pack_win[s].0.load(Ordering::Relaxed),
+            pack_win[s].1.load(Ordering::Relaxed),
+        );
+        let (cs, ce) = (
+            compute_win[s - 1].0.load(Ordering::Relaxed),
+            compute_win[s - 1].1.load(Ordering::Relaxed),
+        );
+        if cs != u64::MAX {
+            overlap += pe.min(ce).saturating_sub(ps.max(cs));
+        }
+    }
+    PACK_OVERLAP_TOTAL.fetch_add(overlap, Ordering::Relaxed);
+    if perfport_trace::enabled() {
+        perfport_trace::counter("gemm", "tuned_pack_overlap_ns", overlap as f64);
+    }
+
+    let totals = TunedStats {
+        pack_a_bytes: pack_a_total.into_inner(),
+        pack_b_bytes: pack_b_total.into_inner(),
+        microkernel_calls: micro_total.into_inner(),
+    };
+    (totals, gstats)
+}
+
+/// Tile + scalar dispatch for [`run_pipelined`] (the graph-scheduler
+/// analogue of the dispatch in [`gemm_rows_with_isa`]).
+#[allow(clippy::too_many_arguments)]
+fn run_pipelined_dispatch<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &DisjointSlice<'_, T>,
+    c_shape: (usize, usize),
+    c_layout: Layout,
+    params: &TunedParams,
+    isa: Isa,
+) -> (TunedStats, GraphStats) {
+    if TypeId::of::<T>() == TypeId::of::<F16>() {
+        let a16 = (a as &dyn Any)
+            .downcast_ref::<Matrix<F16>>()
+            .expect("T is F16");
+        let b16 = (b as &dyn Any)
+            .downcast_ref::<Matrix<F16>>()
+            .expect("T is F16");
+        // SAFETY: `T` is exactly `F16` (checked above), so the cast is
+        // the identity (see `gemm_rows_with_isa`).
+        let c16 = unsafe { &*(c as *const DisjointSlice<'_, T>).cast::<DisjointSlice<'_, F16>>() };
+        let run = match (params.tile.mr, params.tile.nr) {
+            (4, 4) => run_pipelined::<WidenedF16Ops, 4, 4>,
+            (8, 4) => run_pipelined::<WidenedF16Ops, 8, 4>,
+            (4, 8) => run_pipelined::<WidenedF16Ops, 4, 8>,
+            (8, 8) => run_pipelined::<WidenedF16Ops, 8, 8>,
+            _ => panic!("unsupported tile shape {}", params.tile),
+        };
+        return run(pool, a16, b16, c16, c_shape, c_layout, &params.blocks, isa);
+    }
+    let run = match (params.tile.mr, params.tile.nr) {
+        (4, 4) => run_pipelined::<PlainOps<T>, 4, 4>,
+        (8, 4) => run_pipelined::<PlainOps<T>, 8, 4>,
+        (4, 8) => run_pipelined::<PlainOps<T>, 4, 8>,
+        (8, 8) => run_pipelined::<PlainOps<T>, 8, 8>,
+        _ => panic!("unsupported tile shape {}", params.tile),
+    };
+    run(pool, a, b, c, c_shape, c_layout, &params.blocks, isa)
 }
 
 fn check_shapes<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, m: usize, n: usize) {
@@ -778,10 +1129,10 @@ pub fn gemm_rows_with_isa<T: Scalar>(
         let c16 = unsafe { &*(c as *const DisjointSlice<'_, T>).cast::<DisjointSlice<'_, F16>>() };
         let (aw, bw) = arena.widened();
         let run = match (params.tile.mr, params.tile.nr) {
-            (4, 4) => run_blocked_f16::<4, 4>,
-            (8, 4) => run_blocked_f16::<8, 4>,
-            (4, 8) => run_blocked_f16::<4, 8>,
-            (8, 8) => run_blocked_f16::<8, 8>,
+            (4, 4) => run_blocked::<WidenedF16Ops, 4, 4>,
+            (8, 4) => run_blocked::<WidenedF16Ops, 8, 4>,
+            (4, 8) => run_blocked::<WidenedF16Ops, 4, 8>,
+            (8, 8) => run_blocked::<WidenedF16Ops, 8, 8>,
             _ => panic!("unsupported tile shape {}", params.tile),
         };
         return run(
@@ -798,13 +1149,25 @@ pub fn gemm_rows_with_isa<T: Scalar>(
         );
     }
     let run = match (params.tile.mr, params.tile.nr) {
-        (4, 4) => run_blocked::<T, 4, 4>,
-        (8, 4) => run_blocked::<T, 8, 4>,
-        (4, 8) => run_blocked::<T, 4, 8>,
-        (8, 8) => run_blocked::<T, 8, 8>,
+        (4, 4) => run_blocked::<PlainOps<T>, 4, 4>,
+        (8, 4) => run_blocked::<PlainOps<T>, 8, 4>,
+        (4, 8) => run_blocked::<PlainOps<T>, 4, 8>,
+        (8, 8) => run_blocked::<PlainOps<T>, 8, 8>,
         _ => panic!("unsupported tile shape {}", params.tile),
     };
-    run(a, b, c, c_shape, c_layout, rows, &params.blocks, arena, isa)
+    let (a_buf, b_buf) = PlainOps::<T>::bufs(arena);
+    run(
+        a,
+        b,
+        c,
+        c_shape,
+        c_layout,
+        rows,
+        &params.blocks,
+        a_buf,
+        b_buf,
+        isa,
+    )
 }
 
 /// Serial tuned GEMM: `C += A · B` with explicit parameters and arena,
@@ -838,16 +1201,32 @@ pub fn gemm_serial_with_isa<T: Scalar>(
     stats
 }
 
-/// Parallel tuned GEMM on the work-sharing pool: macro-row-blocks of `C`
-/// (`Mc` rows each) are the index space, each worker packs into its
-/// thread-local arena. Returns the pool's region instrumentation; the
-/// packing/microkernel counters go to `perfport-trace`.
+/// Parallel tuned GEMM under the process-wide scheduler verdict
+/// ([`perfport_pool::sched::active`]): the pipelined task graph by
+/// default, the classic barrier fork-join under `--sched barrier` /
+/// `PERFPORT_SCHED=barrier`. Returns the region instrumentation; the
+/// packing/microkernel counters go to `perfport-trace`. Results are
+/// bitwise-identical across schedulers, team sizes, and serial.
 pub fn gemm<T: Scalar>(
     pool: &ThreadPool,
     a: &Matrix<T>,
     b: &Matrix<T>,
     c: &mut Matrix<T>,
     params: &TunedParams,
+) -> RegionStats {
+    gemm_with_sched(pool, a, b, c, params, perfport_pool::sched::active())
+}
+
+/// [`gemm`] with an explicit scheduler instead of the process-wide one —
+/// the A/B entry point tests and ablations use to compare schedulers
+/// without touching `PERFPORT_SCHED`.
+pub fn gemm_with_sched<T: Scalar>(
+    pool: &ThreadPool,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c: &mut Matrix<T>,
+    params: &TunedParams,
+    sched: SchedMode,
 ) -> RegionStats {
     let (m, n) = (c.rows(), c.cols());
     check_shapes(a, b, m, n);
@@ -859,6 +1238,7 @@ pub fn gemm<T: Scalar>(
         sp.arg("k", a.cols());
         sp.arg("tile", params.tile.name());
         sp.arg("isa", isa.name());
+        sp.arg("sched", sched.name());
         sp.arg("mc", params.blocks.mc);
         sp.arg("kc", params.blocks.kc);
         sp.arg("nc", params.blocks.nc);
@@ -873,29 +1253,48 @@ pub fn gemm<T: Scalar>(
     }
     let layout = c.layout();
     let ds = DisjointSlice::new(c.as_mut_slice());
-    let mc = params.blocks.mc;
-    let n_blocks = m.div_ceil(mc);
-    let pack_a_total = AtomicU64::new(0);
-    let pack_b_total = AtomicU64::new(0);
-    let micro_total = AtomicU64::new(0);
-    let region = pool.parallel_for(n_blocks, Schedule::StaticBlock, |_ctx, chunk| {
-        if chunk.is_empty() {
-            return;
+    match sched {
+        SchedMode::Graph => {
+            let (totals, gstats) =
+                run_pipelined_dispatch(pool, a, b, &ds, (m, n), layout, params, isa);
+            totals.emit(params.tile, isa);
+            RegionStats {
+                items_per_thread: gstats.tasks_per_worker.clone(),
+                chunks_per_thread: gstats.tasks_per_worker,
+                elapsed: gstats.elapsed,
+                // No barrier exists in graph mode; the idle analogue is
+                // recorded by the graph run itself (`pool/idle_ns`).
+                fork_join_overhead: Duration::ZERO,
+                barrier_wait_per_thread: Vec::new(),
+            }
         }
-        let rows = (chunk.start * mc)..(chunk.end * mc).min(m);
-        let stats =
-            with_thread_arena(|arena| gemm_rows(a, b, &ds, (m, n), layout, rows, params, arena));
-        pack_a_total.fetch_add(stats.pack_a_bytes, Ordering::Relaxed);
-        pack_b_total.fetch_add(stats.pack_b_bytes, Ordering::Relaxed);
-        micro_total.fetch_add(stats.microkernel_calls, Ordering::Relaxed);
-    });
-    let totals = TunedStats {
-        pack_a_bytes: pack_a_total.into_inner(),
-        pack_b_bytes: pack_b_total.into_inner(),
-        microkernel_calls: micro_total.into_inner(),
-    };
-    totals.emit(params.tile, isa);
-    region
+        SchedMode::Barrier => {
+            let mc = params.blocks.mc;
+            let n_blocks = m.div_ceil(mc);
+            let pack_a_total = AtomicU64::new(0);
+            let pack_b_total = AtomicU64::new(0);
+            let micro_total = AtomicU64::new(0);
+            let region = pool.parallel_for(n_blocks, Schedule::StaticBlock, |_ctx, chunk| {
+                if chunk.is_empty() {
+                    return;
+                }
+                let rows = (chunk.start * mc)..(chunk.end * mc).min(m);
+                let stats = with_thread_arena(|arena| {
+                    gemm_rows(a, b, &ds, (m, n), layout, rows, params, arena)
+                });
+                pack_a_total.fetch_add(stats.pack_a_bytes, Ordering::Relaxed);
+                pack_b_total.fetch_add(stats.pack_b_bytes, Ordering::Relaxed);
+                micro_total.fetch_add(stats.microkernel_calls, Ordering::Relaxed);
+            });
+            let totals = TunedStats {
+                pack_a_bytes: pack_a_total.into_inner(),
+                pack_b_bytes: pack_b_total.into_inner(),
+                microkernel_calls: micro_total.into_inner(),
+            };
+            totals.emit(params.tile, isa);
+            region
+        }
+    }
 }
 
 #[cfg(test)]
@@ -965,6 +1364,94 @@ mod tests {
             gemm(&pool, &a, &b, &mut c_par, &params);
             assert_eq!(c_serial, c_par, "{layout}");
         }
+    }
+
+    /// Serial reference vs an explicit scheduler, bitwise.
+    fn sched_vs_serial<T: Scalar>(m: usize, k: usize, n: usize, jobs: usize, sched: SchedMode) {
+        let pool = ThreadPool::new(jobs);
+        let params = TunedParams {
+            tile: TileShape { mr: 4, nr: 4 },
+            // Tiny blocks force many row blocks and (jc, p0) panels, so
+            // the double buffers wrap repeatedly.
+            blocks: BlockSizes {
+                mc: 8,
+                kc: 12,
+                nc: 16,
+            },
+        };
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let a = Matrix::<T>::random(m, k, layout, 7);
+            let b = Matrix::<T>::random(k, n, layout, 8);
+            let mut c_serial = Matrix::<T>::zeros(m, n, layout);
+            gemm_serial(&a, &b, &mut c_serial, &params, &mut PackArena::new());
+            let mut c_sched = Matrix::<T>::zeros(m, n, layout);
+            gemm_with_sched(&pool, &a, &b, &mut c_sched, &params, sched);
+            assert_eq!(
+                c_serial,
+                c_sched,
+                "{} {layout} jobs={jobs} sched={sched}",
+                T::NAME
+            );
+        }
+    }
+
+    #[test]
+    fn both_schedulers_are_bit_identical_to_serial_all_precisions() {
+        for jobs in [1, 2, 7] {
+            for sched in [SchedMode::Barrier, SchedMode::Graph] {
+                sched_vs_serial::<f64>(83, 57, 43, jobs, sched);
+                sched_vs_serial::<f32>(61, 45, 39, jobs, sched);
+                sched_vs_serial::<F16>(33, 29, 21, jobs, sched);
+            }
+        }
+    }
+
+    #[test]
+    fn double_buffer_reuse_survives_many_panels() {
+        // k and n large relative to kc/nc: 8 k-panels × 4 jc panels = 32
+        // B-panel packs through 2 buffers, while 7 workers race the
+        // pipeline. Any reuse-before-drained bug corrupts C.
+        let pool = ThreadPool::new(7);
+        let params = TunedParams {
+            tile: TileShape { mr: 4, nr: 4 },
+            blocks: BlockSizes {
+                mc: 8,
+                kc: 8,
+                nc: 8,
+            },
+        };
+        let (m, k, n) = (40, 64, 31);
+        let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 11);
+        let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 12);
+        let mut c_serial = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+        gemm_serial(&a, &b, &mut c_serial, &params, &mut PackArena::new());
+        for _ in 0..16 {
+            let mut c_graph = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+            gemm_with_sched(&pool, &a, &b, &mut c_graph, &params, SchedMode::Graph);
+            assert_eq!(c_serial, c_graph);
+        }
+    }
+
+    #[test]
+    fn graph_mode_reports_tasks_and_overlap_monotonically() {
+        let pool = ThreadPool::new(4);
+        let params = TunedParams {
+            tile: TileShape { mr: 4, nr: 4 },
+            blocks: BlockSizes {
+                mc: 8,
+                kc: 8,
+                nc: 16,
+            },
+        };
+        let (m, k, n) = (64, 48, 32);
+        let a = Matrix::<f64>::random(m, k, Layout::RowMajor, 13);
+        let b = Matrix::<f64>::random(k, n, Layout::RowMajor, 14);
+        let before = pack_overlap_ns();
+        let mut c = Matrix::<f64>::zeros(m, n, Layout::RowMajor);
+        let region = gemm_with_sched(&pool, &a, &b, &mut c, &params, SchedMode::Graph);
+        // (2 jc × 6 k) panels × 8 row-block compute tasks + 12 packs.
+        assert_eq!(region.items_per_thread.iter().sum::<usize>(), 12 * 8 + 12);
+        assert!(pack_overlap_ns() >= before);
     }
 
     #[test]

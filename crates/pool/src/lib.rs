@@ -24,6 +24,10 @@
 //! * [`WorkQueue`] — a submit-from-outside task queue drained by the pool's
 //!   team, for serving workloads where work arrives continuously instead of
 //!   as one up-front index space.
+//! * [`TaskGraph`] — a dependency-driven task executor (message-passing
+//!   readiness, no global barriers) with cycle detection, deterministic
+//!   ordering, and `WorkQueue`-style panic→poison semantics; [`sched`]
+//!   selects between it and the barrier constructs per process.
 //! * [`SenseBarrier`] — a reusable sense-reversing barrier.
 //! * [`DisjointSlice`] — safe disjoint mutable access for row-parallel
 //!   kernels.
@@ -31,20 +35,24 @@
 //!   shared atomics, and cache capacities for cache-aware blocking.
 
 mod barrier;
+mod graph;
 mod pad;
 mod pool;
 mod queue;
 mod reduce;
+pub mod sched;
 mod schedule;
 mod slice;
 mod stats;
 mod topology;
 
 pub use barrier::SenseBarrier;
+pub use graph::{CycleError, GraphStats, TaskGraph, TaskId};
 pub use pad::CachePadded;
 pub use pool::{ForContext, ThreadPool};
 pub use queue::WorkQueue;
+pub use sched::SchedMode;
 pub use schedule::{Chunk, Schedule, StaticChunks};
 pub use slice::DisjointSlice;
-pub use stats::RegionStats;
+pub use stats::{sched_totals, RegionStats, SchedTotals};
 pub use topology::{CacheInfo, CacheSource, CpuTopology, PinPolicy, Placement};

@@ -324,13 +324,25 @@ impl ThreadPool {
 
         let busy = busy.into_inner();
         let max_busy = busy.iter().copied().max().unwrap_or(Duration::ZERO);
+        // A thread that finished early sat at the implicit end barrier for
+        // the rest of the region; that wait is what the graph scheduler
+        // removes, so it is measured on every run.
+        let barrier_wait_per_thread: Vec<Duration> =
+            busy.iter().map(|&b| elapsed.saturating_sub(b)).collect();
         let stats = RegionStats {
             items_per_thread: items.into_inner(),
             chunks_per_thread: chunks.into_inner(),
             elapsed,
             fork_join_overhead: elapsed.saturating_sub(max_busy),
+            barrier_wait_per_thread,
         };
+        let barrier_wait_ns = stats
+            .total_barrier_wait()
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        crate::stats::record_barrier_wait(barrier_wait_ns);
         if sp.is_recording() {
+            perfport_trace::counter("pool", "barrier_wait_ns", barrier_wait_ns as f64);
             sp.arg("n", n);
             sp.arg("schedule", format!("{schedule:?}"));
             sp.arg("team", team);

@@ -1,0 +1,132 @@
+//! Process-wide scheduler-mode dispatch (`PERFPORT_SCHED`).
+//!
+//! The pool offers two execution disciplines for the hot paths that
+//! support both: the classic fork-join **barrier** scheduler
+//! (`parallel_for`/`parallel_map`) and the dependency-driven **graph**
+//! scheduler ([`crate::TaskGraph`]). Which one a process uses is decided
+//! exactly once, the same way the GEMM crate resolves its SIMD ISA:
+//!
+//! 1. A CLI override (`--sched`) calls [`force`] before first use.
+//! 2. Otherwise the `PERFPORT_SCHED` environment variable decides.
+//! 3. Otherwise the default is [`SchedMode::Graph`].
+//!
+//! An unrecognised value is a hard configuration error: the process
+//! prints the valid names and exits with status 2, never silently
+//! falling back — a benchmark run with a misspelled scheduler would
+//! otherwise measure the wrong thing.
+
+use std::sync::OnceLock;
+
+/// Which scheduling discipline multi-path entry points use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedMode {
+    /// Fork-join with an implicit end-of-region barrier.
+    Barrier,
+    /// Dependency-driven task graph; no global barriers.
+    Graph,
+}
+
+impl SchedMode {
+    /// The stable lowercase name used by `--sched`, `PERFPORT_SCHED`,
+    /// and provenance manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedMode::Barrier => "barrier",
+            SchedMode::Graph => "graph",
+        }
+    }
+
+    /// Parses a stable name back to a mode.
+    pub fn from_name(name: &str) -> Option<SchedMode> {
+        match name {
+            "barrier" => Some(SchedMode::Barrier),
+            "graph" => Some(SchedMode::Graph),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resolves a scheduler request to a mode. `None`, the empty string, and
+/// `"auto"` select the default ([`SchedMode::Graph`]).
+///
+/// # Errors
+///
+/// A usage message listing the valid names when the request is not
+/// recognised.
+pub fn resolve(request: Option<&str>) -> Result<SchedMode, String> {
+    match request {
+        None | Some("") | Some("auto") => Ok(SchedMode::Graph),
+        Some(name) => SchedMode::from_name(name)
+            .ok_or_else(|| format!("unknown scheduler '{name}' (valid: barrier, graph, auto)")),
+    }
+}
+
+static ACTIVE: OnceLock<SchedMode> = OnceLock::new();
+
+/// The scheduler this process runs with, resolved once on first call
+/// from `PERFPORT_SCHED` (unless [`force`] ran earlier). Exits with
+/// status 2 on an unrecognised value.
+pub fn active() -> SchedMode {
+    *ACTIVE.get_or_init(|| {
+        let request = std::env::var("PERFPORT_SCHED").ok();
+        match resolve(request.as_deref()) {
+            Ok(mode) => mode,
+            Err(msg) => {
+                eprintln!("PERFPORT_SCHED: {msg}");
+                std::process::exit(2);
+            }
+        }
+    })
+}
+
+/// Pins the process scheduler from a CLI flag. Must run before anything
+/// consults [`active`]; takes precedence over `PERFPORT_SCHED`.
+///
+/// # Panics
+///
+/// Panics if the scheduler was already resolved to a different mode —
+/// the dispatch is once-per-process, so a late override would leave
+/// earlier work measured under the wrong label.
+pub fn force(mode: SchedMode) {
+    let got = *ACTIVE.get_or_init(|| mode);
+    assert_eq!(
+        got, mode,
+        "scheduler already resolved to '{got}'; --sched {mode} came too late"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for mode in [SchedMode::Barrier, SchedMode::Graph] {
+            assert_eq!(SchedMode::from_name(mode.name()), Some(mode));
+            assert_eq!(format!("{mode}"), mode.name());
+        }
+        assert_eq!(SchedMode::from_name("openmp"), None);
+    }
+
+    #[test]
+    fn resolve_defaults_to_graph() {
+        assert_eq!(resolve(None), Ok(SchedMode::Graph));
+        assert_eq!(resolve(Some("")), Ok(SchedMode::Graph));
+        assert_eq!(resolve(Some("auto")), Ok(SchedMode::Graph));
+        assert_eq!(resolve(Some("barrier")), Ok(SchedMode::Barrier));
+        assert_eq!(resolve(Some("graph")), Ok(SchedMode::Graph));
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names_with_the_valid_list() {
+        let err = resolve(Some("workstealing")).unwrap_err();
+        assert!(err.contains("workstealing"));
+        assert!(err.contains("barrier") && err.contains("graph"));
+    }
+}

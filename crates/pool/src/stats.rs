@@ -5,6 +5,7 @@
 //! imbalance) and how much time the fork-join protocol itself cost. Both
 //! are measured here for every parallel region.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Statistics collected for one `parallel_for` region.
@@ -21,6 +22,11 @@ pub struct RegionStats {
     /// it is the region time minus the busiest thread's body time when
     /// available, else zero.
     pub fork_join_overhead: Duration,
+    /// Time each thread spent waiting at the region's implicit end
+    /// barrier (region elapsed minus that thread's busy time) — the cost
+    /// the graph scheduler exists to remove. Empty when the region did
+    /// not measure per-thread busy time.
+    pub barrier_wait_per_thread: Vec<Duration>,
 }
 
 impl RegionStats {
@@ -58,6 +64,45 @@ impl RegionStats {
         let active = self.items_per_thread.iter().filter(|&&x| x > 0).count();
         active as f64 / self.items_per_thread.len() as f64
     }
+
+    /// Total barrier wait across the team.
+    pub fn total_barrier_wait(&self) -> Duration {
+        self.barrier_wait_per_thread.iter().sum()
+    }
+}
+
+/// Nanoseconds the barrier scheduler spent waiting at implicit region-end
+/// barriers, summed over every region and thread in this process.
+static BARRIER_WAIT_NS: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds graph-scheduler workers spent parked with no eligible
+/// task, summed over every graph run and worker in this process.
+static IDLE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide scheduling-overhead totals, for stamping into bench
+/// snapshots (the per-region values flow through [`RegionStats`] and the
+/// `pool/barrier_wait_ns` / `pool/idle_ns` trace counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedTotals {
+    /// Cumulative barrier-wait nanoseconds (fork-join regions).
+    pub barrier_wait_ns: u64,
+    /// Cumulative task-idle nanoseconds (graph runs).
+    pub idle_ns: u64,
+}
+
+/// Snapshot of the cumulative scheduling-overhead counters.
+pub fn sched_totals() -> SchedTotals {
+    SchedTotals {
+        barrier_wait_ns: BARRIER_WAIT_NS.load(Ordering::Relaxed),
+        idle_ns: IDLE_NS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_barrier_wait(ns: u64) {
+    BARRIER_WAIT_NS.fetch_add(ns, Ordering::Relaxed);
+}
+
+pub(crate) fn record_idle(ns: u64) {
+    IDLE_NS.fetch_add(ns, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -70,6 +115,7 @@ mod tests {
             chunks_per_thread: chunks,
             elapsed: Duration::from_millis(1),
             fork_join_overhead: Duration::ZERO,
+            barrier_wait_per_thread: Vec::new(),
         }
     }
 
@@ -106,5 +152,23 @@ mod tests {
     fn participation_counts_active_threads() {
         let s = stats(vec![5, 0, 3, 0], vec![1, 0, 1, 0]);
         assert!((s.participation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_wait_totals_sum_per_thread_values() {
+        let mut s = stats(vec![1, 1], vec![1, 1]);
+        assert_eq!(s.total_barrier_wait(), Duration::ZERO);
+        s.barrier_wait_per_thread = vec![Duration::from_micros(3), Duration::from_micros(7)];
+        assert_eq!(s.total_barrier_wait(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn sched_totals_accumulate_monotonically() {
+        let before = sched_totals();
+        record_barrier_wait(11);
+        record_idle(5);
+        let after = sched_totals();
+        assert!(after.barrier_wait_ns >= before.barrier_wait_ns + 11);
+        assert!(after.idle_ns >= before.idle_ns + 5);
     }
 }
