@@ -89,6 +89,22 @@ fn main() {
         isa_of(&cand),
         sched_of(&cand)
     );
+    // Telemetry never gates: it is context for reading the deltas below
+    // (e.g. barrier-wait blowups behind a latency regression).
+    let telemetry_of = |s: &Snapshot| match &s.telemetry {
+        Some(t) => format!(
+            "{} counters, {} gauges, {} histograms",
+            t.counters.len(),
+            t.gauges.len(),
+            t.histograms.len()
+        ),
+        None => "absent".to_string(),
+    };
+    println!(
+        "telemetry: baseline {}; candidate {}",
+        telemetry_of(&base),
+        telemetry_of(&cand)
+    );
     if let (Some(bs), Some(cs)) = (&base.sched, &cand.sched) {
         if bs != cs {
             // A scheduler A/B is a legitimate comparison (that is how the

@@ -10,13 +10,16 @@
 //! readable baseline snapshot (the committed copy at the repo root is the
 //! build host's measured vendor-headroom evidence).
 //!
-//! The snapshot uses schema `perfport-bench-gemm/2`: it carries the run's
+//! The snapshot uses schema `perfport-bench-gemm/3`: it carries the run's
 //! provenance manifest (git SHA, rustc, CPU model, cache hierarchy and
 //! its source, hardware-counter availability), the relative rep spread
 //! per cell (what `bench_diff` derives its noise-aware thresholds from),
-//! and — under `--profile`, when counters are available — per-variant
-//! IPC and cache-miss rates from `perf_event_open` groups read around
-//! the pool regions.
+//! a `telemetry` block (the always-on runtime counters and streaming
+//! histograms recorded during the measured sweep, stamped as deltas from
+//! a pre-measurement epoch so warm-up does not inflate them), and —
+//! under `--profile`, when counters are available — per-variant IPC and
+//! cache-miss rates from `perf_event_open` groups read around the pool
+//! regions.
 //!
 //! `--quick` restricts the sweep to the headline 1024² size; the
 //! tuned-over-best-naive ratio is printed either way.
@@ -210,9 +213,15 @@ fn print_points(points: &[SizePoint], csv: bool, profiling: bool) {
     }
 }
 
-fn json_snapshot(points: &[SizePoint], manifest: &Manifest, reps: usize, quick: bool) -> String {
+fn json_snapshot(
+    points: &[SizePoint],
+    manifest: &Manifest,
+    epoch: &perfport_bench::TelemetryEpoch,
+    reps: usize,
+    quick: bool,
+) -> String {
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"perfport-bench-gemm/2\",");
+    let _ = writeln!(out, "  \"schema\": \"perfport-bench-gemm/3\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"manifest\":");
     let _ = writeln!(out, "{},", manifest.to_json(2));
@@ -220,7 +229,17 @@ fn json_snapshot(points: &[SizePoint], manifest: &Manifest, reps: usize, quick: 
         out,
         "  \"protocol\": {{\"reps\": {reps}, \"warmup_runs\": 1, \"metric\": \"gflops\", \"spread\": \"rel_half_range\"}},"
     );
-    let _ = writeln!(out, "  \"sched\": {},", perfport_bench::sched_totals_json());
+    let _ = writeln!(
+        out,
+        "  \"sched\": {},",
+        perfport_bench::sched_totals_json_since(epoch)
+    );
+    let _ = writeln!(out, "  \"telemetry\":");
+    let _ = writeln!(
+        out,
+        "{},",
+        perfport_bench::telemetry_json_since(epoch, "  ")
+    );
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let (bn_name, bn) = p.best_naive();
@@ -292,6 +311,9 @@ fn main() {
         manifest.counters,
         manifest.simd_isa
     );
+    // Telemetry epoch: everything stamped into the snapshot is a delta
+    // from here, so pool construction above stays out of the evidence.
+    let epoch = perfport_bench::telemetry_epoch();
 
     if !args.quick {
         let n = 256;
@@ -336,7 +358,7 @@ fn main() {
         headline.n
     );
 
-    let json = json_snapshot(&points, &manifest, reps, args.quick);
+    let json = json_snapshot(&points, &manifest, &epoch, reps, args.quick);
     let path = "BENCH_gemm.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),

@@ -17,9 +17,15 @@
 //! `completion − arrival`.
 //!
 //! The run reports p50/p95/p99/mean/max latency and sustained GFLOPS,
-//! and writes `BENCH_serve.json` (schema `perfport-bench-serve/1`,
+//! and writes `BENCH_serve.json` (schema `perfport-bench-serve/2`,
 //! provenance-stamped with the `perfport-manifest/1` manifest) that
-//! `bench_diff` parses and gates alongside the kernel snapshots.
+//! `bench_diff` parses and gates alongside the kernel snapshots. The
+//! snapshot's `telemetry` block carries the always-on runtime metrics
+//! recorded during the measured phase: the end-to-end `serve/latency_ns`
+//! streaming histogram plus the per-shape-bucket `batch/service_ns/*`
+//! histograms, so tail percentiles stream in O(1) memory alongside the
+//! exact nearest-rank reference printed above (a unit test pins the two
+//! within one log₂ bucket of each other).
 //!
 //! Two correctness modes:
 //!
@@ -31,6 +37,12 @@
 //!   timeline, seeded noise), and prints a byte-stable request stream
 //!   and latency summary: identical across repeated runs and any
 //!   `--jobs`/`--threads`, which the golden CLI test enforces.
+//!
+//! One failure mode: `--inject-panic <req_id>` submits a deliberately
+//! panicking task into the work queue alongside the batch containing
+//! that request (barrier scheduler only). The panic poisons the queue,
+//! the flight recorder dumps `flight-<pid>.json`, and the process dies
+//! non-zero — the post-mortem path CI exercises end to end.
 
 use perfport_bench::{HarnessArgs, Manifest};
 use perfport_core::noise;
@@ -43,7 +55,7 @@ use std::time::Instant;
 const USAGE: &str =
     "usage: serve_gemm [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile] \
      [--sched barrier|graph] [--seed <u64>] [--requests <n>] [--rate <req/s>] [--batch <max>] \
-     [--jobs <n>] [--dry-run] [--verify] [--out <path>]";
+     [--jobs <n>] [--dry-run] [--verify] [--inject-panic <req_id>] [--out <path>]";
 
 /// Modelled server throughput for `--dry-run` service times (GFLOP/s).
 /// Deliberately round and machine-independent: dry-run output must be
@@ -63,6 +75,9 @@ struct ServeArgs {
     jobs: Option<usize>,
     dry_run: bool,
     verify: bool,
+    /// Request id whose batch gets a deliberately panicking queue task
+    /// riding along — the flight-recorder post-mortem drill.
+    inject_panic: Option<usize>,
     out: String,
 }
 
@@ -76,6 +91,7 @@ impl Default for ServeArgs {
             jobs: None,
             dry_run: false,
             verify: false,
+            inject_panic: None,
             out: "BENCH_serve.json".to_string(),
         }
     }
@@ -97,6 +113,10 @@ impl ServeArgs {
             "--rate" => self.rate = parse_rate(&take("--rate")?)?,
             "--batch" => self.batch_max = parse_count("--batch", &take("--batch")?)?,
             "--jobs" => self.jobs = Some(parse_count("--jobs", &take("--jobs")?)?),
+            "--inject-panic" => {
+                self.inject_panic =
+                    Some(parse_u64("--inject-panic", &take("--inject-panic")?)? as usize)
+            }
             "--out" => self.out = take("--out")?,
             other => {
                 if let Some(v) = other.strip_prefix("--seed=") {
@@ -109,6 +129,8 @@ impl ServeArgs {
                     self.batch_max = parse_count("--batch", v)?;
                 } else if let Some(v) = other.strip_prefix("--jobs=") {
                     self.jobs = Some(parse_count("--jobs", v)?);
+                } else if let Some(v) = other.strip_prefix("--inject-panic=") {
+                    self.inject_panic = Some(parse_u64("--inject-panic", v)? as usize);
                 } else if let Some(v) = other.strip_prefix("--out=") {
                     self.out = v.to_string();
                 } else {
@@ -229,6 +251,15 @@ fn ms(ns: u64) -> f64 {
     ns as f64 / 1e6
 }
 
+/// The per-request CSV block shared by the dry-run and measured paths.
+fn print_csv(stream: &[Request], summary: &ServeSummary) {
+    println!("-- csv --");
+    println!("id,arrival_ns,latency_ns");
+    for (r, lat) in stream.iter().zip(&summary.latencies_ns) {
+        println!("{},{},{lat}", r.id, r.arrival_ns);
+    }
+}
+
 struct ServeSummary {
     latencies_ns: Vec<u64>,
     batches: usize,
@@ -284,30 +315,57 @@ impl ServeSummary {
     }
 }
 
-/// Runs one batch window on the virtual timeline: the batch starts when
-/// the server is free and its last request has arrived, takes
-/// `service_ns`, and every request in it experiences `completion −
-/// arrival`.
-fn advance_timeline(
-    reqs: &[Request],
-    service_ns: u64,
-    server_free_ns: &mut u64,
-    latencies_ns: &mut Vec<u64>,
-) -> u64 {
-    let last_arrival = reqs.last().expect("non-empty batch").arrival_ns;
-    let start = last_arrival.max(*server_free_ns);
-    let completion = start + service_ns;
-    *server_free_ns = completion;
-    latencies_ns.extend(reqs.iter().map(|r| completion - r.arrival_ns));
-    completion
+/// The virtual-timeline bookkeeping shared by the dry-run (modelled
+/// service times) and measured serving paths — one accumulator so the
+/// two latency summaries cannot drift apart. Each completed batch
+/// starts when the server is free and its last request has arrived,
+/// takes `service_ns`, and every request in it experiences
+/// `completion − arrival`; per-request latencies also stream into the
+/// `serve/latency_ns` telemetry histogram.
+struct Timeline {
+    latencies_ns: Vec<u64>,
+    server_free_ns: u64,
+    last_completion_ns: u64,
+    batches: usize,
+}
+
+impl Timeline {
+    fn new(capacity: usize) -> Timeline {
+        Timeline {
+            latencies_ns: Vec::with_capacity(capacity),
+            server_free_ns: 0,
+            last_completion_ns: 0,
+            batches: 0,
+        }
+    }
+
+    fn complete_batch(&mut self, reqs: &[Request], service_ns: u64) {
+        let last_arrival = reqs.last().expect("non-empty batch").arrival_ns;
+        let start = last_arrival.max(self.server_free_ns);
+        let completion = start + service_ns;
+        self.server_free_ns = completion;
+        self.last_completion_ns = completion;
+        self.batches += 1;
+        for r in reqs {
+            let latency = completion - r.arrival_ns;
+            perfport_telemetry::observe("serve/latency_ns", latency);
+            self.latencies_ns.push(latency);
+        }
+    }
+
+    fn into_summary(self, stream: &[Request]) -> ServeSummary {
+        ServeSummary {
+            makespan_ns: self.last_completion_ns - stream[0].arrival_ns,
+            latencies_ns: self.latencies_ns,
+            batches: self.batches,
+            total_flops: stream.iter().map(Request::flops).sum(),
+        }
+    }
 }
 
 fn dry_run(stream: &[Request], seed: u64, batch_max: usize) -> ServeSummary {
     let mut service = noise::stream(seed, "serve/service");
-    let mut latencies_ns = Vec::with_capacity(stream.len());
-    let mut server_free_ns = 0u64;
-    let mut last_completion = 0u64;
-    let mut batches = 0usize;
+    let mut timeline = Timeline::new(stream.len());
     for reqs in stream.chunks(batch_max) {
         let flops: u64 = reqs.iter().map(Request::flops).sum();
         // Modelled service: batch flops at the nominal rate, perturbed by
@@ -315,16 +373,9 @@ fn dry_run(stream: &[Request], seed: u64, batch_max: usize) -> ServeSummary {
         let u: f64 = service.gen();
         let factor = 0.9 + 0.2 * u;
         let service_ns = (flops as f64 / DRY_RUN_GFLOPS * factor).round() as u64;
-        last_completion =
-            advance_timeline(reqs, service_ns, &mut server_free_ns, &mut latencies_ns);
-        batches += 1;
+        timeline.complete_batch(reqs, service_ns);
     }
-    ServeSummary {
-        latencies_ns,
-        batches,
-        total_flops: stream.iter().map(Request::flops).sum(),
-        makespan_ns: last_completion - stream[0].arrival_ns,
-    }
+    timeline.into_summary(stream)
 }
 
 fn serve(
@@ -334,12 +385,10 @@ fn serve(
     pool: &ThreadPool,
     verify: bool,
     sched: SchedMode,
+    inject_panic: Option<usize>,
 ) -> ServeSummary {
     let queue = WorkQueue::new();
-    let mut latencies_ns = Vec::with_capacity(stream.len());
-    let mut server_free_ns = 0u64;
-    let mut last_completion = 0u64;
-    let mut batches = 0usize;
+    let mut timeline = Timeline::new(stream.len());
     let mut verified = 0usize;
     for reqs in stream.chunks(batch_max) {
         let problems: Vec<batch::Problem> = reqs.iter().map(|r| materialize(seed, r)).collect();
@@ -351,6 +400,13 @@ fn serve(
             SchedMode::Barrier => {
                 let t0 = Instant::now();
                 let ticket = batch::enqueue_batch(&queue, problems);
+                if let Some(target) = inject_panic {
+                    if reqs.iter().any(|r| r.id == target) {
+                        queue.submit(move || {
+                            panic!("injected panic at request {target}");
+                        });
+                    }
+                }
                 queue.drain(pool);
                 let service_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 let serial = verify.then(|| batch::gemm_batch_serial(ticket.problems()));
@@ -377,19 +433,12 @@ fn serve(
         } else {
             std::hint::black_box(&outputs);
         }
-        last_completion =
-            advance_timeline(reqs, service_ns, &mut server_free_ns, &mut latencies_ns);
-        batches += 1;
+        timeline.complete_batch(reqs, service_ns);
     }
     if verify {
         println!("batch≡serial contract: OK ({verified} requests)");
     }
-    ServeSummary {
-        latencies_ns,
-        batches,
-        total_flops: stream.iter().map(Request::flops).sum(),
-        makespan_ns: last_completion - stream[0].arrival_ns,
-    }
+    timeline.into_summary(stream)
 }
 
 fn json_snapshot(
@@ -397,12 +446,13 @@ fn json_snapshot(
     manifest: &Manifest,
     serve: &ServeArgs,
     stream: &[Request],
+    epoch: &perfport_bench::TelemetryEpoch,
     quick: bool,
 ) -> String {
     let (p50, p95, p99, mean, max) = summary.percentiles_ns();
     let count = |p: batch::Precision| stream.iter().filter(|r| r.precision == p).count();
     let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"schema\": \"perfport-bench-serve/1\",");
+    let _ = writeln!(out, "  \"schema\": \"perfport-bench-serve/2\",");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"seed\": {},", serve.seed);
     let _ = writeln!(out, "  \"manifest\":");
@@ -432,7 +482,17 @@ fn json_snapshot(
         "  \"sustained_gflops\": {:.4},",
         summary.sustained_gflops()
     );
-    let _ = writeln!(out, "  \"sched\": {},", perfport_bench::sched_totals_json());
+    let _ = writeln!(
+        out,
+        "  \"sched\": {},",
+        perfport_bench::sched_totals_json_since(epoch)
+    );
+    let _ = writeln!(out, "  \"telemetry\":");
+    let _ = writeln!(
+        out,
+        "{},",
+        perfport_bench::telemetry_json_since(epoch, "  ")
+    );
     let _ = writeln!(out, "  \"req_per_s\": {:.2}", summary.req_per_s());
     out.push_str("}\n");
     out
@@ -456,6 +516,13 @@ fn main() {
     };
     if serve_args.dry_run && serve_args.verify {
         eprintln!("error: --verify needs real execution; it cannot be combined with --dry-run");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if serve_args.dry_run && serve_args.inject_panic.is_some() {
+        eprintln!(
+            "error: --inject-panic needs real execution; it cannot be combined with --dry-run"
+        );
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
@@ -489,16 +556,27 @@ fn main() {
         let summary = dry_run(&stream, serve_args.seed, serve_args.batch_max);
         summary.print("virtual");
         if args.csv {
-            println!("-- csv --");
-            println!("id,arrival_ns,latency_ns");
-            for (r, lat) in stream.iter().zip(&summary.latencies_ns) {
-                println!("{},{},{lat}", r.id, r.arrival_ns);
-            }
+            print_csv(&stream, &summary);
         }
         return;
     }
 
     let sched = args.apply_sched();
+    if serve_args.inject_panic.is_some() && sched != SchedMode::Barrier {
+        eprintln!("error: --inject-panic rides the work queue; it requires the barrier scheduler");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    if let Some(target) = serve_args.inject_panic {
+        if target >= stream.len() {
+            eprintln!(
+                "error: --inject-panic {target} is out of range (stream has {} requests)",
+                stream.len()
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
     args.start_profiling();
     let jobs = serve_args.jobs.unwrap_or_else(|| args.thread_count());
     let trace = args.start_trace_with(|m| m.jobs = Some(jobs));
@@ -512,6 +590,9 @@ fn main() {
         serve_args.rate,
         serve_args.batch_max
     );
+    // Telemetry epoch: the snapshot's `sched` and `telemetry` blocks are
+    // deltas from here, so pool construction stays out of the evidence.
+    let epoch = perfport_bench::telemetry_epoch();
     let summary = serve(
         &stream,
         serve_args.seed,
@@ -519,16 +600,20 @@ fn main() {
         &pool,
         serve_args.verify,
         sched,
+        serve_args.inject_panic,
     );
     summary.print("measured");
     if args.csv {
-        println!("-- csv --");
-        println!("id,arrival_ns,latency_ns");
-        for (r, lat) in stream.iter().zip(&summary.latencies_ns) {
-            println!("{},{},{lat}", r.id, r.arrival_ns);
-        }
+        print_csv(&stream, &summary);
     }
-    let json = json_snapshot(&summary, &manifest, &serve_args, &stream, args.quick);
+    let json = json_snapshot(
+        &summary,
+        &manifest,
+        &serve_args,
+        &stream,
+        &epoch,
+        args.quick,
+    );
     match std::fs::write(&serve_args.out, &json) {
         Ok(()) => println!("wrote {}", serve_args.out),
         Err(e) => {
@@ -538,5 +623,67 @@ fn main() {
     }
     if let Some(trace) = trace {
         trace.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfport_telemetry::histogram::Histogram;
+
+    /// Satellite contract behind the snapshot's `telemetry` block: the
+    /// streaming log₂ histogram must agree with the exact nearest-rank
+    /// reference within one bucket — for every headline quantile,
+    /// `exact ≤ estimate < 2·exact` (the estimate is the containing
+    /// bucket's upper bound, so tails are never understated).
+    #[test]
+    fn histogram_quantiles_bracket_the_exact_summary() {
+        let stream = generate_stream(42, 512, 2000.0);
+        let summary = dry_run(&stream, 42, 32);
+        let hist = Histogram::new();
+        for &lat in &summary.latencies_ns {
+            hist.observe(lat);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = summary.latencies_ns.clone();
+        sorted.sort_unstable();
+        for q in [0.50, 0.95, 0.99] {
+            let exact = quantile(&sorted, q);
+            let est = snap.quantile(q);
+            assert!(
+                exact <= est,
+                "q={q}: histogram estimate {est} understates exact {exact}"
+            );
+            assert!(
+                est < exact.saturating_mul(2),
+                "q={q}: histogram estimate {est} is more than one log2 bucket above exact {exact}"
+            );
+        }
+    }
+
+    /// Both serving paths share [`Timeline`]; pin its queueing algebra
+    /// on a hand-checked two-batch schedule.
+    #[test]
+    fn timeline_queueing_algebra_by_hand() {
+        let req = |id: usize, arrival_ns: u64| Request {
+            id,
+            arrival_ns,
+            precision: batch::Precision::F64,
+            m: 4,
+            n: 4,
+            k: 4,
+        };
+        let stream = [req(0, 100), req(1, 200), req(2, 250)];
+        let mut t = Timeline::new(stream.len());
+        // Batch 1 (reqs 0, 1): starts at its last arrival (200), runs
+        // 1000 ns, completes at 1200.
+        t.complete_batch(&stream[..2], 1000);
+        // Batch 2 (req 2): arrived at 250 but the server is busy until
+        // 1200; completes at 1700.
+        t.complete_batch(&stream[2..], 500);
+        let s = t.into_summary(&stream);
+        assert_eq!(s.latencies_ns, vec![1100, 1000, 1450]);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.makespan_ns, 1600);
     }
 }

@@ -49,6 +49,11 @@ pub struct Snapshot {
     /// `"graph"`), from the embedded manifest's `sched` field; `None`
     /// for files that predate the scheduler dispatch.
     pub sched: Option<String>,
+    /// The run's always-on runtime telemetry (schema `gemm/3` and
+    /// `serve/2` snapshots), parsed leniently: telemetry is supporting
+    /// evidence, never a gated metric, so a missing or malformed block
+    /// reads as `None` rather than failing the diff.
+    pub telemetry: Option<perfport_telemetry::Snapshot>,
     /// All recorded points, in file order.
     pub points: Vec<SnapshotPoint>,
 }
@@ -112,7 +117,45 @@ fn parse_point(obj: &Json) -> Result<SnapshotPoint, String> {
     })
 }
 
-/// Maps a `perfport-bench-serve/1` document onto one synthetic
+/// Parses a snapshot's optional `telemetry` block back into a
+/// [`perfport_telemetry::Snapshot`]. Any structural surprise — missing
+/// sub-map, non-numeric value, out-of-range bucket index — yields
+/// `None` for the whole block: older snapshots and hand-edited files
+/// must keep diffing on their measured points.
+fn parse_telemetry(doc: &Json) -> Option<perfport_telemetry::Snapshot> {
+    let block = doc.get("telemetry")?;
+    let mut snap = perfport_telemetry::Snapshot::default();
+    let Some(Json::Object(counters)) = block.get("counters") else {
+        return None;
+    };
+    for (k, v) in counters {
+        snap.counters.insert(k.clone(), v.as_f64()? as u64);
+    }
+    let Some(Json::Object(gauges)) = block.get("gauges") else {
+        return None;
+    };
+    for (k, v) in gauges {
+        snap.gauges.insert(k.clone(), v.as_f64()? as u64);
+    }
+    let Some(Json::Object(histograms)) = block.get("histograms") else {
+        return None;
+    };
+    for (k, h) in histograms {
+        let mut hist = perfport_telemetry::HistogramSnapshot::empty();
+        hist.count = h.get("count")?.as_f64()? as u64;
+        hist.sum = h.get("sum")?.as_f64()? as u64;
+        for entry in h.get("buckets")?.as_array()? {
+            let pair = entry.as_array()?;
+            let index = pair.first()?.as_f64()? as usize;
+            let count = pair.get(1)?.as_f64()? as u64;
+            *hist.buckets.get_mut(index)? = count;
+        }
+        snap.histograms.insert(k.clone(), hist);
+    }
+    Some(snap)
+}
+
+/// Maps a `perfport-bench-serve/*` document onto one synthetic
 /// [`SnapshotPoint`] so the existing higher-is-better diff engine gates
 /// serving runs too: `n` is the request count, the precision label is
 /// `"SERVE"`, and the latency percentiles enter as reciprocals
@@ -124,6 +167,7 @@ fn parse_serve(
     quick: bool,
     simd_isa: Option<String>,
     sched: Option<String>,
+    telemetry: Option<perfport_telemetry::Snapshot>,
 ) -> Result<Snapshot, String> {
     let requests = doc
         .get("workload")
@@ -159,6 +203,7 @@ fn parse_serve(
         quick,
         simd_isa,
         sched,
+        telemetry,
         points: vec![SnapshotPoint {
             n: requests,
             precision: "SERVE".to_string(),
@@ -168,9 +213,11 @@ fn parse_serve(
     })
 }
 
-/// Parses a snapshot: `perfport-bench-gemm/1` or `/2`, or a
-/// `perfport-bench-serve/1` serving run (mapped to one synthetic point
+/// Parses a snapshot: any `perfport-bench-gemm/*` version, or a
+/// `perfport-bench-serve/*` serving run (mapped to one synthetic point
 /// whose latencies enter reciprocally, so increases read as drops).
+/// The `telemetry` block carried by `gemm/3` / `serve/2` snapshots is
+/// parsed warn-only into [`Snapshot::telemetry`].
 pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let schema = doc
@@ -189,8 +236,9 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         .and_then(|m| m.get("sched"))
         .and_then(Json::as_str)
         .map(str::to_string);
+    let telemetry = parse_telemetry(&doc);
     if schema.starts_with("perfport-bench-serve/") {
-        return parse_serve(&doc, schema, quick, simd_isa, sched);
+        return parse_serve(&doc, schema, quick, simd_isa, sched, telemetry);
     }
     if !schema.starts_with("perfport-bench-gemm/") {
         return Err(format!("not a bench snapshot: schema '{schema}'"));
@@ -207,6 +255,7 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         quick,
         simd_isa,
         sched,
+        telemetry,
         points,
     })
 }
@@ -435,6 +484,48 @@ mod tests {
         assert!(parse_snapshot(&no_req)
             .unwrap_err()
             .contains("workload.requests"));
+    }
+
+    const TELEMETRY: &str = r#""telemetry": {
+        "counters": {"pool/regions": 12},
+        "gauges": {"queue/depth": 3},
+        "histograms": {"serve/latency_ns": {"count": 2, "sum": 3000, "p50": 2047, "p95": 2047, "p99": 2047, "buckets": [[10, 2]]}}
+      },"#;
+
+    fn with_block(block: &str) -> String {
+        V2.replacen(
+            "\"quick\": true,",
+            &format!("\"quick\": true,\n      {block}"),
+            1,
+        )
+    }
+
+    #[test]
+    fn telemetry_blocks_parse_into_snapshots() {
+        // Snapshots without the block (schema /1 and /2 files) read None.
+        assert!(parse_snapshot(V2).unwrap().telemetry.is_none());
+        let snap = parse_snapshot(&with_block(TELEMETRY)).unwrap();
+        let t = snap.telemetry.expect("well-formed telemetry must parse");
+        assert_eq!(t.counters["pool/regions"], 12);
+        assert_eq!(t.gauges["queue/depth"], 3);
+        let h = &t.histograms["serve/latency_ns"];
+        assert_eq!((h.count, h.sum, h.buckets[10]), (2, 3000, 2));
+    }
+
+    #[test]
+    fn malformed_telemetry_is_warn_only_never_an_error() {
+        for bad in [
+            // counters is not an object
+            r#""telemetry": {"counters": 5, "gauges": {}, "histograms": {}},"#,
+            // non-numeric histogram count
+            r#""telemetry": {"counters": {}, "gauges": {}, "histograms": {"h": {"count": "x", "sum": 0, "buckets": []}}},"#,
+            // bucket index past the 64-bucket range
+            r#""telemetry": {"counters": {}, "gauges": {}, "histograms": {"h": {"count": 1, "sum": 2, "buckets": [[99, 1]]}}},"#,
+        ] {
+            let snap = parse_snapshot(&with_block(bad)).expect("points must still parse");
+            assert!(snap.telemetry.is_none(), "must read as None: {bad}");
+            assert_eq!(snap.points.len(), 1);
+        }
     }
 
     #[test]

@@ -338,12 +338,57 @@ impl TraceOutput {
     }
 }
 
+/// The process-wide monotonic aggregates captured at a measurement
+/// phase boundary: scheduler overhead totals, the tuned GEMM's
+/// pack-overlap counter, and the full telemetry snapshot.
+///
+/// The underlying counters only grow for the process lifetime, so a
+/// binary that stamps them directly over-reports whenever warm-up,
+/// verification, or an earlier phase ran in the same process. Capture
+/// an epoch when measurement starts and stamp the *deltas*
+/// ([`sched_totals_json_since`], [`telemetry_json_since`]) instead.
+pub struct TelemetryEpoch {
+    sched: perfport_pool::SchedTotals,
+    pack_overlap_ns: u64,
+    telemetry: perfport_telemetry::Snapshot,
+}
+
+/// Captures the current aggregates as a [`TelemetryEpoch`].
+pub fn telemetry_epoch() -> TelemetryEpoch {
+    TelemetryEpoch {
+        sched: perfport_pool::sched_totals(),
+        pack_overlap_ns: perfport_gemm::tuned::pack_overlap_ns(),
+        telemetry: perfport_telemetry::snapshot(),
+    }
+}
+
 /// One-line JSON object summarising the run's scheduler evidence: the
-/// active mode plus the process-wide aggregates the pool and the tuned
-/// GEMM accumulate (`pool/barrier_wait_ns`, `pool/idle_ns`,
-/// `gemm/tuned_pack_overlap_ns`). Both snapshot binaries stamp this so
-/// an A/B of `--sched barrier` vs `--sched graph` artifacts shows where
-/// the worker time went.
+/// active mode plus the aggregates the pool and the tuned GEMM
+/// accumulated **since `epoch`** (`pool/barrier_wait_ns`,
+/// `pool/idle_ns`, `gemm/tuned_pack_overlap_ns`). Both snapshot
+/// binaries stamp this so an A/B of `--sched barrier` vs
+/// `--sched graph` artifacts shows where the worker time went.
+pub fn sched_totals_json_since(epoch: &TelemetryEpoch) -> String {
+    let totals = perfport_pool::sched_totals().delta_since(epoch.sched);
+    format!(
+        "{{\"mode\": \"{}\", \"barrier_wait_ns\": {}, \"idle_ns\": {}, \"pack_overlap_ns\": {}}}",
+        perfport_pool::sched::active().name(),
+        totals.barrier_wait_ns,
+        totals.idle_ns,
+        perfport_gemm::tuned::pack_overlap_ns().saturating_sub(epoch.pack_overlap_ns)
+    )
+}
+
+/// The merged telemetry recorded since `epoch`, serialized as the
+/// snapshot `telemetry` block (see [`perfport_telemetry::Snapshot::to_json`]).
+pub fn telemetry_json_since(epoch: &TelemetryEpoch, indent: &str) -> String {
+    perfport_telemetry::snapshot()
+        .delta_since(&epoch.telemetry)
+        .to_json(indent)
+}
+
+/// [`sched_totals_json_since`] from process start (a zero epoch) — the
+/// process-lifetime totals, kept for callers without a phase boundary.
 pub fn sched_totals_json() -> String {
     let totals = perfport_pool::sched_totals();
     format!(

@@ -58,6 +58,10 @@ pub struct Manifest {
     /// Hardware-counter availability: `"available"` or
     /// `"unavailable (reason)"`, from the `perfport-obs` probe.
     pub counters: String,
+    /// Telemetry build mode of the binary that produced the run:
+    /// `"on"` (always-on sharded metrics + flight recorder) or `"stub"`
+    /// (compile-time no-op build used by the overhead gate).
+    pub telemetry: String,
     /// Whether hardware profiling was actually enabled for the run
     /// (requested via `--profile` *and* available).
     pub profiling: bool,
@@ -128,6 +132,7 @@ impl Manifest {
             jobs: None,
             cache: CacheInfo::host(),
             counters: perfport_obs::probe().manifest_str(),
+            telemetry: perfport_telemetry::build_mode().to_string(),
             profiling: perfport_obs::enabled(),
         }
     }
@@ -179,6 +184,7 @@ impl Manifest {
             self.cache.l1d_bytes, self.cache.l2_bytes, self.cache.l3_bytes, self.cache.source
         );
         let _ = writeln!(out, "{pad}  \"counters\": \"{}\",", esc(&self.counters));
+        let _ = writeln!(out, "{pad}  \"telemetry\": \"{}\",", esc(&self.telemetry));
         let _ = writeln!(out, "{pad}  \"profiling\": {}", self.profiling);
         let _ = write!(out, "{pad}}}");
         out
@@ -206,6 +212,7 @@ impl Manifest {
                 Value::Str(self.cache.source.to_string()),
             ),
             ("counters".to_string(), Value::Str(self.counters.clone())),
+            ("telemetry".to_string(), Value::Str(self.telemetry.clone())),
             ("profiling".to_string(), Value::from(self.profiling)),
         ];
         if let Some(isa) = &self.simd_rejected {
@@ -252,6 +259,7 @@ mod tests {
             jobs: None,
             cache: CacheInfo::DEFAULT,
             counters: "unavailable (perf_event_paranoid=3)".to_string(),
+            telemetry: "on".to_string(),
             profiling: false,
         };
         let text = m.to_json(2);
@@ -280,6 +288,7 @@ mod tests {
             .as_str()
             .unwrap()
             .starts_with("unavailable"));
+        assert_eq!(doc.get("telemetry").unwrap().as_str(), Some("on"));
         assert_eq!(doc.get("profiling").unwrap().as_bool(), Some(false));
     }
 
@@ -310,6 +319,7 @@ mod tests {
             "rustc",
             "cpu_model",
             "counters",
+            "telemetry",
             "threads",
             "simd_isa",
             "sched",

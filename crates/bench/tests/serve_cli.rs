@@ -98,11 +98,32 @@ fn snapshot_schema_and_manifest() {
     ]);
     assert_eq!(code, 0, "{stdout}\n{stderr}");
     let text = std::fs::read_to_string(&out).expect("snapshot must be written");
-    assert!(text.contains("\"schema\": \"perfport-bench-serve/1\""));
+    assert!(text.contains("\"schema\": \"perfport-bench-serve/2\""));
     assert!(text.contains("\"schema\": \"perfport-manifest/1\""));
     let snap = perfport_bench::diff::parse_snapshot(&text).expect("bench_diff must parse it");
-    assert_eq!(snap.schema, "perfport-bench-serve/1");
+    assert_eq!(snap.schema, "perfport-bench-serve/2");
     assert!(snap.simd_isa.is_some(), "manifest ISA missing");
+    // The always-on telemetry block must be populated: the measured
+    // phase serves real batches, so the end-to-end latency histogram
+    // and the per-bucket service-time histograms cannot be empty.
+    let telemetry = snap.telemetry.as_ref().expect("telemetry block missing");
+    let latency = telemetry
+        .histograms
+        .get("serve/latency_ns")
+        .expect("serve/latency_ns histogram missing");
+    assert_eq!(latency.count, 40, "one latency sample per request");
+    assert!(
+        telemetry
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("batch/service_ns/")),
+        "per-bucket service-time histograms missing: {:?}",
+        telemetry.histograms.keys().collect::<Vec<_>>()
+    );
+    assert!(
+        telemetry.counters.get("pool/regions").copied().unwrap_or(0) > 0,
+        "pool region counter missing from the measured phase"
+    );
     assert_eq!(snap.points.len(), 1);
     let p = &snap.points[0];
     assert_eq!(p.n, 40);
@@ -133,6 +154,10 @@ fn flag_rejection_and_help() {
         vec!["--jobs", "zero"],
         vec!["--frobnicate"],
         vec!["--dry-run", "--verify"],
+        vec!["--dry-run", "--inject-panic", "3"],
+        vec!["--inject-panic", "banana"],
+        vec!["--quick", "--sched", "graph", "--inject-panic", "3"],
+        vec!["--quick", "--requests", "8", "--inject-panic", "99"],
     ] {
         let (code, _, stderr) = run(&bad);
         assert_eq!(code, 2, "args {bad:?} must exit 2:\n{stderr}");

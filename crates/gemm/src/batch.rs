@@ -262,11 +262,19 @@ fn solve<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, params: &TunedParams) -> Matri
 }
 
 fn run_problem(problem: &Problem, params: &TunedParams) -> Output {
-    match problem {
+    let t0 = std::time::Instant::now();
+    let output = match problem {
         Problem::F64 { a, b } => Output::F64(solve(a, b, params)),
         Problem::F32 { a, b } => Output::F32(solve(a, b, params)),
         Problem::F16 { a, b } => Output::F16(solve(a, b, params)),
-    }
+    };
+    // Per-bucket service-time histogram: tail percentiles for any
+    // number of problems in O(1) memory, keyed so a serving mix's
+    // buckets stay separable in the merged snapshot.
+    let service_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    perfport_telemetry::counter_add("batch/problems", 1);
+    perfport_telemetry::observe(&format!("batch/service_ns/{}", problem.key()), service_ns);
+    output
 }
 
 /// The canonical execution sequence: `(submission index, shared

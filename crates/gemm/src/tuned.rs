@@ -364,6 +364,10 @@ pub struct TunedStats {
 
 impl TunedStats {
     fn emit(&self, tile: TileShape, isa: Isa) {
+        perfport_telemetry::counter_add("gemm/invocations", 1);
+        perfport_telemetry::counter_add("gemm/pack_a_bytes", self.pack_a_bytes);
+        perfport_telemetry::counter_add("gemm/pack_b_bytes", self.pack_b_bytes);
+        perfport_telemetry::counter_add("gemm/microkernel_calls", self.microkernel_calls);
         if perfport_trace::enabled() {
             perfport_trace::counter("gemm", "tuned_pack_a_bytes", self.pack_a_bytes as f64);
             perfport_trace::counter("gemm", "tuned_pack_b_bytes", self.pack_b_bytes as f64);
@@ -927,8 +931,9 @@ fn run_pipelined<P: PackOps, const MR: usize, const NR: usize>(
             let bytes = P::pack_b(b, panel.p0, panel.kb, panel.jc, panel.nb, NR, b_buf);
             pb_total.fetch_add(bytes, Ordering::Relaxed);
             pwin.0.store(t0, Ordering::Relaxed);
-            pwin.1
-                .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let t1 = epoch.elapsed().as_nanos() as u64;
+            pwin.1.store(t1, Ordering::Relaxed);
+            perfport_telemetry::observe("gemm/pack_ns", t1.saturating_sub(t0));
         });
         let mut this_panel = Vec::with_capacity(row_blocks.len());
         for (r, &(i0, mb)) in row_blocks.iter().enumerate() {
@@ -962,8 +967,9 @@ fn run_pipelined<P: PackOps, const MR: usize, const NR: usize>(
                 pa_total.fetch_add(stats.pack_a_bytes, Ordering::Relaxed);
                 mk_total.fetch_add(stats.microkernel_calls, Ordering::Relaxed);
                 cwin.0.fetch_min(t0, Ordering::Relaxed);
-                cwin.1
-                    .fetch_max(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                let t1 = epoch.elapsed().as_nanos() as u64;
+                cwin.1.fetch_max(t1, Ordering::Relaxed);
+                perfport_telemetry::observe("gemm/compute_ns", t1.saturating_sub(t0));
             });
             this_panel.push(id);
         }
@@ -988,6 +994,7 @@ fn run_pipelined<P: PackOps, const MR: usize, const NR: usize>(
         }
     }
     PACK_OVERLAP_TOTAL.fetch_add(overlap, Ordering::Relaxed);
+    perfport_telemetry::counter_add("gemm/pack_overlap_ns", overlap);
     if perfport_trace::enabled() {
         perfport_trace::counter("gemm", "tuned_pack_overlap_ns", overlap as f64);
     }

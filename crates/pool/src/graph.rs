@@ -324,6 +324,11 @@ impl GraphStats {
     fn publish(&self) {
         let idle_ns = self.total_idle().as_nanos().min(u128::from(u64::MAX)) as u64;
         stats::record_idle(idle_ns);
+        perfport_telemetry::counter_add("pool/idle_ns", idle_ns);
+        perfport_telemetry::observe(
+            "graph/run_ns",
+            self.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+        );
         if perfport_trace::enabled() {
             perfport_trace::counter("pool", "idle_ns", idle_ns as f64);
         }
@@ -392,11 +397,11 @@ impl<'env> Runtime<'env> {
         let mut settled = 0usize;
         let mut idle = Duration::ZERO;
         loop {
-            let task = {
+            let (task, eligible_left) = {
                 let mut ready = self.ready.lock();
                 loop {
                     if let Some(Reverse(t)) = ready.pop() {
-                        break t;
+                        break (t, ready.len());
                     }
                     // Acquire pairs with the Release increment in
                     // `finish`: once every task reads complete, their
@@ -409,6 +414,10 @@ impl<'env> Runtime<'env> {
                     idle += t0.elapsed();
                 }
             };
+            // Depth of the eligible set right after this claim — how
+            // much ready parallelism the executor is sitting on.
+            perfport_telemetry::gauge_set("graph/eligible_depth", eligible_left as u64);
+            perfport_telemetry::event("task_claim", format!("task={task}"));
             self.settle(task);
             settled += 1;
         }
@@ -418,19 +427,30 @@ impl<'env> Runtime<'env> {
     fn settle(&self, task: usize) {
         let failed = if self.skip[task].load(Ordering::Acquire) {
             self.skipped.fetch_add(1, Ordering::Relaxed);
+            perfport_telemetry::counter_add("graph/tasks_skipped", 1);
+            perfport_telemetry::event("task_skip", format!("task={task} upstream panicked"));
             true
         } else {
             let body = self.bodies[task]
                 .lock()
                 .take()
                 .expect("a task is claimed exactly once");
+            let t0 = Instant::now();
             match catch_unwind(AssertUnwindSafe(body)) {
                 Ok(()) => {
+                    let run_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                     self.executed.fetch_add(1, Ordering::Relaxed);
+                    perfport_telemetry::counter_add("graph/tasks_executed", 1);
+                    perfport_telemetry::observe("graph/task_run_ns", run_ns);
+                    perfport_telemetry::event("task_run", format!("task={task} ns={run_ns}"));
                     false
                 }
                 Err(payload) => {
                     self.skipped.fetch_add(1, Ordering::Relaxed);
+                    perfport_telemetry::counter_add("graph/task_panics", 1);
+                    let msg = perfport_telemetry::panic_message(&*payload);
+                    perfport_telemetry::event("task_panic", format!("task={task} {msg}"));
+                    perfport_telemetry::flight_dump("task_panic", &format!("task={task} {msg}"));
                     let mut slot = self.panic.lock();
                     if slot.is_none() {
                         *slot = Some(payload);

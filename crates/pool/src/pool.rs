@@ -199,7 +199,16 @@ impl ThreadPool {
                                         unsafe { (job.call)(job.data, tid) }
                                     }))
                                 };
-                                if result.is_err() {
+                                if let Err(payload) = &result {
+                                    // Flight-record the poisoning task
+                                    // itself before the coordinator even
+                                    // learns about the failure — the dump
+                                    // guard is first-trigger-wins, so the
+                                    // file on disk ends with this event.
+                                    let msg = perfport_telemetry::panic_message(&**payload);
+                                    perfport_telemetry::counter_add("pool/worker_panics", 1);
+                                    perfport_telemetry::event("task_panic", msg.clone());
+                                    perfport_telemetry::flight_dump("task_panic", &msg);
                                     job.state.panicked.store(true, Ordering::Release);
                                 }
                                 job.state.finish_one();
@@ -255,6 +264,8 @@ impl ThreadPool {
     pub fn run_region<F: Fn(usize) + Sync>(&self, body: &F) {
         let mut sp = perfport_trace::span("pool", "region");
         sp.arg("team", self.senders.len());
+        perfport_telemetry::event("region_begin", format!("team={}", self.senders.len()));
+        let started = Instant::now();
         let state = RegionState::new(self.senders.len());
         for tx in &self.senders {
             let job = Job {
@@ -265,12 +276,22 @@ impl ThreadPool {
             tx.send(job_msg(job)).expect("worker channel closed");
         }
         state.wait();
+        let region_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        perfport_telemetry::counter_add("pool/regions", 1);
+        perfport_telemetry::observe("pool/region_ns", region_ns);
         self.regions_run.fetch_add(1, Ordering::Relaxed);
         let panicked = state.panicked.load(Ordering::Acquire);
         sp.arg("panicked", panicked);
         if panicked {
+            perfport_telemetry::counter_add("pool/regions_poisoned", 1);
+            perfport_telemetry::event("region_poison", format!("ns={region_ns}"));
+            perfport_telemetry::flight_dump(
+                "region_poison",
+                "a perfport-pool worker panicked inside a parallel region",
+            );
             panic!("a perfport-pool worker panicked inside a parallel region");
         }
+        perfport_telemetry::event("region_end", format!("ns={region_ns}"));
     }
 
     /// Work-sharing loop over `0..n`: `body(ctx, chunk)` is invoked for
@@ -341,6 +362,8 @@ impl ThreadPool {
             .as_nanos()
             .min(u128::from(u64::MAX)) as u64;
         crate::stats::record_barrier_wait(barrier_wait_ns);
+        perfport_telemetry::counter_add("pool/barrier_wait_ns", barrier_wait_ns);
+        perfport_telemetry::observe("pool/parallel_for_ns", region_ns_u64(elapsed));
         if sp.is_recording() {
             perfport_trace::counter("pool", "barrier_wait_ns", barrier_wait_ns as f64);
             sp.arg("n", n);
@@ -409,6 +432,11 @@ impl ThreadPool {
 /// definition.
 fn job_msg(job: Job) -> Msg {
     Msg::Run(job)
+}
+
+/// `Duration` → saturating nanoseconds, for telemetry histograms.
+fn region_ns_u64(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
 impl Drop for ThreadPool {

@@ -107,7 +107,13 @@ impl WorkQueue {
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
         self.assert_healthy();
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner.tasks.lock().push_back(Box::new(task));
+        let depth = {
+            let mut tasks = self.inner.tasks.lock();
+            tasks.push_back(Box::new(task));
+            tasks.len()
+        };
+        perfport_telemetry::counter_add("queue/submitted", 1);
+        perfport_telemetry::gauge_set("queue/depth", depth as u64);
     }
 
     /// Pops one task, or `None` when the queue is currently empty.
@@ -158,11 +164,15 @@ impl WorkQueue {
     /// poisoned), and panics immediately if the queue is already
     /// poisoned.
     pub fn drain(&self, pool: &ThreadPool) -> usize {
+        perfport_telemetry::event("queue_drain_begin", format!("depth={}", self.len()));
         let ran = AtomicUsize::new(0);
         loop {
             self.assert_healthy();
             if self.is_empty() {
-                return ran.into_inner();
+                let ran = ran.into_inner();
+                perfport_telemetry::counter_add("queue/drained", ran as u64);
+                perfport_telemetry::event("queue_drain_end", format!("ran={ran}"));
+                return ran;
             }
             let result = catch_unwind(AssertUnwindSafe(|| {
                 pool.run_region(&|_tid| {
@@ -175,6 +185,10 @@ impl WorkQueue {
             }));
             if let Err(panic) = result {
                 self.inner.poisoned.store(true, Ordering::Release);
+                perfport_telemetry::counter_add("queue/poisoned", 1);
+                let msg = perfport_telemetry::panic_message(&*panic);
+                perfport_telemetry::event("queue_poison", msg.clone());
+                perfport_telemetry::flight_dump("queue_poison", &msg);
                 resume_unwind(panic);
             }
         }
@@ -188,15 +202,22 @@ impl WorkQueue {
     ///
     /// Same contract as [`WorkQueue::drain`].
     pub fn drain_serial(&self) -> usize {
+        perfport_telemetry::event("queue_drain_begin", format!("depth={} serial", self.len()));
         let mut ran = 0usize;
         loop {
             self.assert_healthy();
             let Some(task) = self.pop() else {
+                perfport_telemetry::counter_add("queue/drained", ran as u64);
+                perfport_telemetry::event("queue_drain_end", format!("ran={ran} serial"));
                 return ran;
             };
             let result = catch_unwind(AssertUnwindSafe(task));
             if let Err(panic) = result {
                 self.inner.poisoned.store(true, Ordering::Release);
+                perfport_telemetry::counter_add("queue/poisoned", 1);
+                let msg = perfport_telemetry::panic_message(&*panic);
+                perfport_telemetry::event("queue_poison", msg.clone());
+                perfport_telemetry::flight_dump("queue_poison", &msg);
                 resume_unwind(panic);
             }
             self.inner.completed.fetch_add(1, Ordering::Relaxed);

@@ -76,7 +76,10 @@ pub fn active() -> SchedMode {
     *ACTIVE.get_or_init(|| {
         let request = std::env::var("PERFPORT_SCHED").ok();
         match resolve(request.as_deref()) {
-            Ok(mode) => mode,
+            Ok(mode) => {
+                perfport_telemetry::event("sched_decision", format!("mode={mode} source=env"));
+                mode
+            }
             Err(msg) => {
                 eprintln!("PERFPORT_SCHED: {msg}");
                 std::process::exit(2);
@@ -94,7 +97,10 @@ pub fn active() -> SchedMode {
 /// the dispatch is once-per-process, so a late override would leave
 /// earlier work measured under the wrong label.
 pub fn force(mode: SchedMode) {
-    let got = *ACTIVE.get_or_init(|| mode);
+    let got = *ACTIVE.get_or_init(|| {
+        perfport_telemetry::event("sched_decision", format!("mode={mode} source=cli"));
+        mode
+    });
     assert_eq!(
         got, mode,
         "scheduler already resolved to '{got}'; --sched {mode} came too late"

@@ -89,6 +89,22 @@ pub struct SchedTotals {
     pub idle_ns: u64,
 }
 
+impl SchedTotals {
+    /// The overhead accumulated between `earlier` and this snapshot.
+    ///
+    /// The raw counters are process-lifetime monotonic, so a binary
+    /// that runs several measurement phases in one process would
+    /// over-report if it stamped [`sched_totals`] directly; capture an
+    /// epoch at phase start and stamp the delta instead. Saturating,
+    /// so a swapped pair degrades to zeros rather than wrapping.
+    pub fn delta_since(&self, earlier: SchedTotals) -> SchedTotals {
+        SchedTotals {
+            barrier_wait_ns: self.barrier_wait_ns.saturating_sub(earlier.barrier_wait_ns),
+            idle_ns: self.idle_ns.saturating_sub(earlier.idle_ns),
+        }
+    }
+}
+
 /// Snapshot of the cumulative scheduling-overhead counters.
 pub fn sched_totals() -> SchedTotals {
     SchedTotals {
@@ -170,5 +186,23 @@ mod tests {
         let after = sched_totals();
         assert!(after.barrier_wait_ns >= before.barrier_wait_ns + 11);
         assert!(after.idle_ns >= before.idle_ns + 5);
+    }
+
+    #[test]
+    fn delta_since_isolates_one_phase() {
+        let totals = SchedTotals {
+            barrier_wait_ns: 100,
+            idle_ns: 40,
+        };
+        let epoch = SchedTotals {
+            barrier_wait_ns: 75,
+            idle_ns: 40,
+        };
+        let delta = totals.delta_since(epoch);
+        assert_eq!(delta.barrier_wait_ns, 25);
+        assert_eq!(delta.idle_ns, 0);
+        // A swapped pair saturates to zero instead of wrapping.
+        let swapped = epoch.delta_since(totals);
+        assert_eq!(swapped, SchedTotals::default());
     }
 }

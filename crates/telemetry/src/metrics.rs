@@ -1,0 +1,226 @@
+//! Per-thread metric shards merged on demand.
+//!
+//! Every thread that records a metric owns a **shard**: a private set
+//! of counters, gauges, and histograms registered once in a global
+//! list. The hot path — [`counter_add`], [`gauge_set`], [`observe`] —
+//! is a thread-local handle-cache lookup plus one relaxed atomic
+//! update; no lock is taken and no other thread's cache line is
+//! written, which is what makes it safe to leave enabled inside the
+//! pool's region and task paths. Locks exist only on the cold edges:
+//! the first time a thread touches a given metric name (shard map
+//! insert) and whenever [`snapshot`] merges all shards into one
+//! [`Snapshot`].
+//!
+//! Shards are append-only for the process lifetime: a thread that
+//! exits leaves its totals behind, so counters and histograms stay
+//! monotonic and snapshot deltas remain meaningful.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::Histogram;
+use crate::snapshot::Snapshot;
+
+/// One thread's private slice of the metric space.
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<HashMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<HashMap<String, Arc<Histogram>>>,
+}
+
+/// All shards ever registered. Guarded by a mutex that is only taken
+/// at thread registration and snapshot time.
+static SHARDS: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+
+fn shards() -> &'static Mutex<Vec<Arc<Shard>>> {
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Thread-local handle caches: once a thread has resolved a metric
+/// name to its `Arc`, later updates touch no map but this one.
+struct Local {
+    shard: Arc<Shard>,
+    counters: RefCell<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RefCell<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RefCell<HashMap<String, Arc<Histogram>>>,
+}
+
+impl Local {
+    fn register() -> Local {
+        let shard = Arc::new(Shard::default());
+        shards()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&shard));
+        Local {
+            shard,
+            counters: RefCell::new(HashMap::new()),
+            gauges: RefCell::new(HashMap::new()),
+            histograms: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: Local = Local::register();
+}
+
+fn cached<T>(
+    cache: &RefCell<HashMap<String, Arc<T>>>,
+    registry: &Mutex<HashMap<String, Arc<T>>>,
+    name: &str,
+    init: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(handle) = cache.borrow().get(name) {
+        return Arc::clone(handle);
+    }
+    let handle = {
+        let mut map = registry.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(init())),
+        )
+    };
+    cache
+        .borrow_mut()
+        .insert(name.to_string(), Arc::clone(&handle));
+    handle
+}
+
+/// Adds `delta` to the calling thread's shard of counter `name`.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    LOCAL.with(|l| {
+        cached(&l.counters, &l.shard.counters, name, || AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    });
+}
+
+/// Sets the calling thread's shard of gauge `name` to `value`.
+/// Shards merge by maximum at snapshot time.
+#[inline]
+pub fn gauge_set(name: &str, value: u64) {
+    LOCAL.with(|l| {
+        cached(&l.gauges, &l.shard.gauges, name, || AtomicU64::new(0))
+            .store(value, Ordering::Relaxed);
+    });
+}
+
+/// Records `value` into the calling thread's shard of histogram
+/// `name`.
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    LOCAL.with(|l| {
+        cached(&l.histograms, &l.shard.histograms, name, Histogram::new).observe(value);
+    });
+}
+
+/// Merges every shard into one canonical [`Snapshot`]: counters sum,
+/// gauges take the per-shard maximum, histograms add bucket-wise.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    let shards = shards().lock().unwrap_or_else(|e| e.into_inner());
+    for shard in shards.iter() {
+        for (name, counter) in shard
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            *snap.counters.entry(name.clone()).or_insert(0) += counter.load(Ordering::Relaxed);
+        }
+        for (name, gauge) in shard
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            let value = gauge.load(Ordering::Relaxed);
+            let slot = snap.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(value);
+        }
+        for (name, hist) in shard
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            snap.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge_from(&hist.snapshot());
+        }
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metric names namespaced per test: the registry is process-global
+    // and the test harness runs tests concurrently in one process.
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        counter_add("test_metrics/ctr", 2);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(snapshot().counters["test_metrics/ctr"], 800);
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let threads: Vec<_> = [3u64, 9, 5]
+            .into_iter()
+            .map(|v| std::thread::spawn(move || gauge_set("test_metrics/gauge", v)))
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(snapshot().gauges["test_metrics/gauge"], 9);
+    }
+
+    #[test]
+    fn histograms_merge_and_keep_exact_totals() {
+        let threads: Vec<_> = (0..3)
+            .map(|i: u64| {
+                std::thread::spawn(move || {
+                    for v in 0..50u64 {
+                        observe("test_metrics/hist", i * 1000 + v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let h = &snapshot().histograms["test_metrics/hist"];
+        assert_eq!(h.count, 150);
+        let expected: u64 = (0..3u64)
+            .flat_map(|i| (0..50u64).map(move |v| i * 1000 + v))
+            .sum();
+        assert_eq!(h.sum, expected);
+    }
+
+    #[test]
+    fn delta_against_live_epoch_only_sees_new_work() {
+        counter_add("test_metrics/epoch_ctr", 5);
+        let epoch = snapshot();
+        counter_add("test_metrics/epoch_ctr", 7);
+        let delta = snapshot().delta_since(&epoch);
+        assert_eq!(delta.counters["test_metrics/epoch_ctr"], 7);
+    }
+}
