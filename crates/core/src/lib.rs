@@ -38,8 +38,8 @@ pub use report::{render_report, reproduction_report, Anchor};
 pub use runner::run_experiment;
 pub use scaling::{run_scaling, ScalingResult, ScalingStudy};
 pub use shard::{
-    full_study_grid, render_study_csv, run_study_sharded, study_grid, GridPoint, PointResult,
-    PointRun, Shard, STUDY_CSV_HEADER,
+    full_study_grid, render_study_csv, run_grid_point, run_study_sharded, study_grid, GridPoint,
+    PointResult, PointRun, Shard, STUDY_CSV_HEADER,
 };
 pub use stream::{estimate_stream_bandwidth, run_stream_kernel, StreamKernel};
 pub use study::{figure_specs, FigureSpec, StudyConfig};

@@ -176,6 +176,18 @@ pub struct PointResult {
     pub outcome: Result<PointRun, RunError>,
 }
 
+/// Runs one grid point and pairs it with its outcome — the unit of work
+/// the distributed study service (`perfport-serve`) leases to workers:
+/// a coordinator hands out contiguous canonical-index ranges and each
+/// worker maps this function over its range, so the wire service and
+/// the in-process sharded runner execute identical per-point code.
+pub fn run_grid_point(p: &GridPoint, cfg: &StudyConfig) -> PointResult {
+    PointResult {
+        point: p.clone(),
+        outcome: run_point(p, cfg),
+    }
+}
+
 /// Runs one grid point as a single-size experiment.
 fn run_point(p: &GridPoint, cfg: &StudyConfig) -> Result<PointRun, RunError> {
     let mut e = Experiment::new(p.arch, p.model, p.precision, vec![p.n]);

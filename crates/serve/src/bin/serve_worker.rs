@@ -1,0 +1,105 @@
+//! Worker of the distributed study service: connects to a
+//! `serve_coordinator`, introduces itself with its provenance manifest,
+//! and executes leased grid ranges until the coordinator says `Bye`.
+//!
+//! Exit codes: 0 on an orderly `Bye`, 1 on transport/protocol failure,
+//! 2 on usage errors, 3 when the `--fail-after` dead-lease drill fires
+//! (so CI can tell an injected death from an accidental one).
+
+use perfport_serve::comm::tcp_v1::TcpCommunicator;
+use perfport_serve::worker::{self, WorkerConfig};
+use perfport_serve::ServeError;
+use std::time::Duration;
+
+const USAGE: &str = "usage: serve_worker --connect <addr> [--ident <name>] \
+[--fail-after <points>] [--patience-ms <ms>]";
+
+struct Args {
+    connect: String,
+    cfg: WorkerConfig,
+    patience: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut connect = None;
+    let mut cfg = WorkerConfig::new(format!("worker-{}", std::process::id()));
+    cfg.verbose = true;
+    let mut patience = Duration::from_secs(10);
+    let mut it = std::env::args().skip(1);
+    let value = |flag: &str, v: Option<String>, it: &mut dyn Iterator<Item = String>| {
+        v.or_else(|| it.next())
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--connect" => connect = Some(value("--connect", inline, &mut it)?),
+            "--ident" => cfg.ident = value("--ident", inline, &mut it)?,
+            "--fail-after" => {
+                let v = value("--fail-after", inline, &mut it)?;
+                cfg.fail_after = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("invalid --fail-after value '{v}'"))?,
+                );
+            }
+            "--patience-ms" => {
+                let v = value("--patience-ms", inline, &mut it)?;
+                patience = Duration::from_millis(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("invalid --patience-ms value '{v}'"))?,
+                );
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let connect = connect.ok_or_else(|| "--connect <addr> is required".to_string())?;
+    Ok(Args {
+        connect,
+        cfg,
+        patience,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut comm = match TcpCommunicator::connect(args.connect.as_str(), args.patience) {
+        Ok(comm) => comm,
+        Err(e) => {
+            eprintln!("error: cannot reach coordinator at {}: {e}", args.connect);
+            std::process::exit(1);
+        }
+    };
+    match worker::run(&mut comm, &args.cfg) {
+        Ok(summary) => {
+            eprintln!(
+                "worker {}: done ({} leases, {} points)",
+                args.cfg.ident, summary.leases, summary.points
+            );
+        }
+        Err(ServeError::FaultInjected { after }) => {
+            eprintln!(
+                "worker {}: fault injected after {after} point(s), dying mid-lease",
+                args.cfg.ident
+            );
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("worker {}: {e}", args.cfg.ident);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end service tests: the joined artifact is byte-identical to
+//! the `--shard 0/1` single-shot artifact for every worker count, lease
+//! size, and kill/retry schedule — over loopback channels and over real
+//! TCP sockets — and dead leases are re-leased to surviving workers.
+
+use perfport_core::{render_study_csv, run_study_sharded, Shard, StudyConfig};
+use perfport_serve::comm::{tcp_v1::TcpCommunicator, Communicator, Loopback};
+use perfport_serve::coordinator::{self, strip_trailer, CoordinatorConfig};
+use perfport_serve::frame::{Frame, Role};
+use perfport_serve::local::{run_local, KillPlan};
+use perfport_serve::worker::{self, WorkerConfig};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const IDS: &[&str] = &["fig5c", "fig7a"];
+
+fn cfg(lease_points: usize) -> CoordinatorConfig {
+    CoordinatorConfig {
+        ids: IDS.iter().map(|s| s.to_string()).collect(),
+        quick: true,
+        lease_points,
+        ttl: Duration::from_secs(30),
+        poll: Duration::from_millis(5),
+        backoff: Duration::from_millis(10),
+        max_retries: 3,
+        deadline: Some(Duration::from_secs(120)),
+        verbose: false,
+    }
+}
+
+fn single_shot() -> String {
+    let results = run_study_sharded(IDS, &StudyConfig::quick(), Shard::FULL, 1);
+    render_study_csv(&results, true)
+}
+
+#[test]
+fn any_worker_count_and_lease_size_is_byte_identical() {
+    let expected = single_shot();
+    for workers in [1usize, 2, 4] {
+        for lease_points in [1usize, 3, 4] {
+            let joined = run_local(&cfg(lease_points), workers, None)
+                .unwrap_or_else(|e| panic!("workers={workers} lease={lease_points}: {e}"));
+            assert_eq!(
+                joined.csv, expected,
+                "workers={workers} lease={lease_points}"
+            );
+            // The rendered artifact strips back to the same bytes.
+            assert_eq!(strip_trailer(&joined.render()), expected);
+            // Every worker that joined left its provenance manifest.
+            assert_eq!(joined.manifests.len(), workers);
+            for (ident, p) in &joined.manifests {
+                assert!(
+                    p.manifest.contains("perfport-manifest/1"),
+                    "{ident} manifest: {}",
+                    p.manifest
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_lease_is_re_leased_and_the_join_is_unchanged() {
+    let expected = single_shot();
+    let mut config = cfg(2);
+    config.max_retries = 5;
+    let joined = run_local(
+        &config,
+        3,
+        Some(KillPlan {
+            worker: 1,
+            after_points: 2,
+        }),
+    )
+    .expect("survivors absorb the dead worker's range");
+    assert_eq!(joined.csv, expected);
+    // The victim completed one 2-point lease before dying mid-lease-2,
+    // so its manifest is embedded with the leases it actually finished.
+    assert_eq!(joined.manifests["w1"].leases, 1);
+    assert!(joined.manifests.contains_key("w0"));
+    assert!(joined.manifests.contains_key("w2"));
+    let rendered = joined.render();
+    assert!(rendered.contains("# worker-manifest w1 leases=1"));
+}
+
+#[test]
+fn mute_worker_misses_heartbeats_and_its_lease_moves_on() {
+    // A worker that hellos, takes a lease, and then goes silent without
+    // closing its connection: only the heartbeat TTL can free its
+    // range. Drive that worker by hand over a raw loopback pair.
+    let expected = single_shot();
+    let mut config = cfg(2);
+    config.ttl = Duration::from_millis(200);
+    config.max_retries = 5;
+
+    let (mute_coord_end, mut mute_worker_end) = Loopback::pair();
+    let (live_coord_end, mut live_worker_end) = Loopback::pair();
+    let (tx, rx) = mpsc::channel::<Box<dyn Communicator>>();
+    tx.send(Box::new(mute_coord_end)).unwrap();
+    tx.send(Box::new(live_coord_end)).unwrap();
+    drop(tx);
+
+    let mute = std::thread::spawn(move || {
+        mute_worker_end
+            .send(&Frame::Hello {
+                role: Role::Worker,
+                ident: "mute".to_string(),
+                detail: "{\"schema\": \"perfport-manifest/1\"}".to_string(),
+            })
+            .unwrap();
+        let hello = mute_worker_end.recv().unwrap();
+        assert!(matches!(
+            hello,
+            Frame::Hello {
+                role: Role::Coordinator,
+                ..
+            }
+        ));
+        let lease = mute_worker_end.recv().unwrap();
+        assert!(matches!(lease, Frame::Lease { .. }), "{lease:?}");
+        // ... and then say nothing at all, holding the connection open
+        // until the coordinator finishes without us.
+        loop {
+            match mute_worker_end.recv() {
+                Ok(Frame::Bye { .. }) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+    let live = std::thread::spawn(move || {
+        worker::run(&mut live_worker_end, &WorkerConfig::new("live")).expect("live worker finishes")
+    });
+
+    let joined = coordinator::run(rx, &config).expect("TTL re-lease rescues the run");
+    mute.join().unwrap();
+    let summary = live.join().unwrap();
+
+    assert_eq!(joined.csv, expected);
+    // The live worker ends up computing every point, including the
+    // range first leased to the mute worker.
+    assert_eq!(summary.points, expected.lines().count() - 1);
+    // The mute worker still appears in the provenance trailer — it
+    // joined the run even though it finished nothing.
+    assert_eq!(joined.manifests["mute"].leases, 0);
+    assert!(joined.manifests["live"].leases >= 1);
+}
+
+#[test]
+fn tcp_transport_is_byte_identical_too() {
+    let expected = single_shot();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let (tx, rx) = mpsc::channel::<Box<dyn Communicator>>();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            if tx.send(Box::new(TcpCommunicator::new(stream))).is_err() {
+                break;
+            }
+        }
+    });
+
+    let patience = Duration::from_secs(10);
+    let workers: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut comm =
+                    TcpCommunicator::connect(addr, patience).expect("reach the coordinator");
+                worker::run(&mut comm, &WorkerConfig::new(format!("tcp{i}")))
+            })
+        })
+        .collect();
+
+    let joined = coordinator::run(rx, &cfg(3)).expect("TCP run succeeds");
+    let mut points = 0;
+    for handle in workers {
+        points += handle
+            .join()
+            .unwrap()
+            .expect("worker session succeeds")
+            .points;
+    }
+    assert_eq!(joined.csv, expected);
+    assert_eq!(points, expected.lines().count() - 1);
+    assert!(joined.manifests.contains_key("tcp0"));
+    assert!(joined.manifests.contains_key("tcp1"));
+}

@@ -13,4 +13,5 @@ pub use perfport_metrics as metrics;
 pub use perfport_models as models;
 pub use perfport_obs as obs;
 pub use perfport_pool as pool;
+pub use perfport_serve as serve;
 pub use perfport_trace as trace;
