@@ -1,6 +1,9 @@
-//! Regression sentinel: compares two `BENCH_gemm.json` snapshots
-//! point-by-point with noise-aware thresholds and exits non-zero when a
-//! cell regressed beyond its tolerance.
+//! Regression sentinel: compares two bench snapshots (`BENCH_gemm.json`,
+//! `BENCH_serve.json`, or `BENCH_gpu.json`) point-by-point with
+//! noise-aware thresholds and exits non-zero when a cell regressed
+//! beyond its tolerance. Both files must record the same workload kind;
+//! comparing, say, a GPU snapshot against a host GEMM one is refused
+//! with exit 2 and a message naming both schemas.
 //!
 //! The tolerance for each `(n, precision, variant)` cell is derived from
 //! the rep spreads *committed in the snapshots themselves* (see
@@ -73,6 +76,21 @@ fn main() {
     };
     let base = load(base_path);
     let cand = load(cand_path);
+    if base.kind != cand.kind {
+        // Disjoint workload kinds can never share a cell; refuse up
+        // front with the schemas named instead of a generic no-overlap
+        // error after the fact.
+        eprintln!(
+            "error: snapshot kinds differ: {base_path} is a {} snapshot ('{}') \
+             but {cand_path} is a {} snapshot ('{}'); these measure \
+             incommensurable metrics and cannot be compared",
+            base.kind.describe(),
+            base.schema,
+            cand.kind.describe(),
+            cand.schema
+        );
+        std::process::exit(2);
+    }
     let isa_of = |s: &Snapshot| s.simd_isa.clone().unwrap_or_else(|| "unknown".to_string());
     let sched_of = |s: &Snapshot| s.sched.clone().unwrap_or_else(|| "unknown".to_string());
     println!(

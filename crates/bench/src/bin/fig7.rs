@@ -1,9 +1,18 @@
 //! Regenerates Fig. 7: Wombat GPU (NVIDIA A100) GEMM with 32×32 thread
 //! blocks, FP64 / FP32 / FP16 (Julia and Numba).
 //!
+//! Each panel is followed by a per-size efficiency block dividing every
+//! curve by the vendor reference times the measured simulator headroom
+//! (`gpu_gemm`, committed in `BENCH_gpu.json`); `--baseline modelled`
+//! falls back to the paper's naive-vs-naive framing, labeled as such in
+//! the block header and the `# baseline:` CSV comment. The FP16 panel
+//! has no vendor curve (paper §IV.B): Julia's CUDA.jl run stands in the
+//! denominator and the block says so.
+//!
 //! `--shard i/n` / `--jobs N` switch to the sharded per-point study
 //! runner (see `perfport_core::shard`): shard outputs concatenate
-//! byte-identically to the single-shot CSV.
+//! byte-identically to the single-shot CSV (raw throughput — the
+//! baseline never touches it).
 
 fn main() {
     let (args, study) = perfport_bench::parse_study_args();

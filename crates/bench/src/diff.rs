@@ -6,11 +6,36 @@
 //! tolerance for each `(n, precision, variant)` cell is derived from the
 //! *committed* spreads rather than a blanket percentage: a cell whose
 //! reps scattered ±8% must not fail CI on a 6% dip, while a rock-steady
-//! cell should. Schema `/1` snapshots (no recorded spread) fall back to
-//! the configured floor.
+//! cell should. Cells with no spread evidence at all (schema `/1` files,
+//! single-rep runs) fall back to the blanket [`SPREADLESS_FLOOR`].
 
 use perfport_trace::json::{self, Json};
 use std::collections::BTreeMap;
+
+/// What kind of workload a snapshot records. Snapshots of different
+/// kinds measure incommensurable things (host GFLOP/s vs. reciprocal
+/// latencies vs. simulator throughput), so `bench_diff` refuses to
+/// compare across kinds instead of silently finding zero shared cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    /// `perfport-bench-gemm/*` — host GEMM rates (`BENCH_gemm.json`).
+    Gemm,
+    /// `perfport-bench-serve/*` — serving latencies (`BENCH_serve.json`).
+    Serve,
+    /// `perfport-bench-gpu/*` — simulated GPU kernels (`BENCH_gpu.json`).
+    Gpu,
+}
+
+impl SnapshotKind {
+    /// Human label used in refusal messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            SnapshotKind::Gemm => "host GEMM",
+            SnapshotKind::Serve => "serving latency",
+            SnapshotKind::Gpu => "GPU simulator",
+        }
+    }
+}
 
 /// One `(n, precision)` bench point: GFLOP/s per variant plus the
 /// relative rep spread (half-range over mean) per variant when the
@@ -39,6 +64,8 @@ impl SnapshotPoint {
 pub struct Snapshot {
     /// The `schema` string, e.g. `perfport-bench-gemm/2`.
     pub schema: String,
+    /// Workload family, derived from the schema prefix.
+    pub kind: SnapshotKind,
     /// Whether the producing run was `--quick`.
     pub quick: bool,
     /// SIMD ISA the producing run's tuned kernel dispatched to, from the
@@ -200,6 +227,7 @@ fn parse_serve(
     }
     Ok(Snapshot {
         schema,
+        kind: SnapshotKind::Serve,
         quick,
         simd_isa,
         sched,
@@ -213,11 +241,12 @@ fn parse_serve(
     })
 }
 
-/// Parses a snapshot: any `perfport-bench-gemm/*` version, or a
+/// Parses a snapshot: any `perfport-bench-gemm/*` version, a
+/// `perfport-bench-gpu/*` simulator run (same points shape), or a
 /// `perfport-bench-serve/*` serving run (mapped to one synthetic point
 /// whose latencies enter reciprocally, so increases read as drops).
-/// The `telemetry` block carried by `gemm/3` / `serve/2` snapshots is
-/// parsed warn-only into [`Snapshot::telemetry`].
+/// The `telemetry` block carried by `gemm/3` / `serve/2` / `gpu/1`
+/// snapshots is parsed warn-only into [`Snapshot::telemetry`].
 pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     let doc = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let schema = doc
@@ -240,9 +269,13 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     if schema.starts_with("perfport-bench-serve/") {
         return parse_serve(&doc, schema, quick, simd_isa, sched, telemetry);
     }
-    if !schema.starts_with("perfport-bench-gemm/") {
+    let kind = if schema.starts_with("perfport-bench-gemm/") {
+        SnapshotKind::Gemm
+    } else if schema.starts_with("perfport-bench-gpu/") {
+        SnapshotKind::Gpu
+    } else {
         return Err(format!("not a bench snapshot: schema '{schema}'"));
-    }
+    };
     let points = doc
         .get("points")
         .and_then(Json::as_array)
@@ -252,6 +285,7 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         .collect::<Result<Vec<_>, _>>()?;
     Ok(Snapshot {
         schema,
+        kind,
         quick,
         simd_isa,
         sched,
@@ -259,6 +293,14 @@ pub fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         points,
     })
 }
+
+/// Blanket relative tolerance for cells with **no** spread evidence in
+/// either snapshot (schema `/1` files, single-rep runs, hand-edited
+/// zeros). Without it, `--floor 0` plus an evidence-free cell makes the
+/// noise-aware gate infinitely strict — any dip fails. The documented 5%
+/// blanket applies instead; an explicitly configured floor above it
+/// still wins.
+pub const SPREADLESS_FLOOR: f64 = 0.05;
 
 /// Threshold policy for [`diff`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -333,7 +375,12 @@ pub fn diff(base: &Snapshot, cand: &Snapshot, cfg: &DiffConfig) -> Vec<DiffEntry
             }
             let spread_sum = bp.spread.get(variant).copied().unwrap_or(0.0)
                 + cp.spread.get(variant).copied().unwrap_or(0.0);
-            let threshold = (cfg.spread_factor * spread_sum).max(cfg.floor);
+            let mut threshold = (cfg.spread_factor * spread_sum).max(cfg.floor);
+            if spread_sum <= 0.0 {
+                // No noise evidence on either side: the documented
+                // blanket percentage, not an infinitely strict gate.
+                threshold = threshold.max(SPREADLESS_FLOOR);
+            }
             let rel_change = c / b - 1.0;
             let verdict = if rel_change < -threshold {
                 Verdict::Regressed
@@ -598,5 +645,112 @@ mod tests {
         let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
         assert!((vendor.threshold - 0.05).abs() < 1e-12);
         assert_eq!(vendor.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn spreadless_cells_get_the_blanket_floor_even_at_floor_zero() {
+        // A /1-era baseline has no spread evidence; with `--floor 0` the
+        // old threshold was exactly 0, so *any* dip failed. The blanket
+        // percentage must apply instead.
+        let zero_floor = DiffConfig {
+            floor: 0.0,
+            spread_factor: 2.0,
+        };
+        let base = parse_snapshot(V1).unwrap();
+        let cand = with_vendor(V1, 8.73); // -3%: within the 5% blanket
+        let entries = diff(&base, &cand, &zero_floor);
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert!((vendor.threshold - SPREADLESS_FLOOR).abs() < 1e-12);
+        assert_eq!(vendor.verdict, Verdict::Ok);
+        // Past the blanket it still regresses.
+        let cand = with_vendor(V1, 8.1); // -10%
+        let entries = diff(&base, &cand, &zero_floor);
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert_eq!(vendor.verdict, Verdict::Regressed);
+        // An explicitly recorded zero spread counts as absent evidence.
+        let mut base = parse_snapshot(V2).unwrap();
+        let mut cand = parse_snapshot(V2).unwrap();
+        base.points[0].spread.insert("vendor".to_string(), 0.0);
+        cand.points[0].spread.insert("vendor".to_string(), 0.0);
+        cand.points[0].gflops.insert("vendor".to_string(), 8.73);
+        let entries = diff(&base, &cand, &zero_floor);
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert!((vendor.threshold - SPREADLESS_FLOOR).abs() < 1e-12);
+        // A configured floor above the blanket still wins.
+        let wide = DiffConfig {
+            floor: 0.20,
+            spread_factor: 2.0,
+        };
+        let base = parse_snapshot(V1).unwrap();
+        let cand = with_vendor(V1, 8.1);
+        let entries = diff(&base, &cand, &wide);
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert!((vendor.threshold - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn genuine_spreads_are_unaffected_by_the_blanket() {
+        // With real spread evidence the threshold is spread-derived even
+        // under a zero floor: 2 × (0.01 + 0.01) = 4%, below the blanket.
+        let zero_floor = DiffConfig {
+            floor: 0.0,
+            spread_factor: 2.0,
+        };
+        let base = parse_snapshot(V2).unwrap();
+        let cand = parse_snapshot(V2).unwrap();
+        let entries = diff(&base, &cand, &zero_floor);
+        let vendor = entries.iter().find(|e| e.variant == "vendor").unwrap();
+        assert!((vendor.threshold - 0.04).abs() < 1e-12);
+    }
+
+    const GPU: &str = r#"{
+      "schema": "perfport-bench-gpu/1",
+      "quick": false,
+      "manifest": {"schema": "perfport-manifest/1", "simd_isa": "avx2", "sched": "graph"},
+      "headroom": {"a100": {"FP64": 4.0}, "mi250x": {"FP64": 15.1}},
+      "points": [
+        {"n": 64, "precision": "FP64",
+         "gflops": {"cuda": 0.08, "tiled-nvidia": 0.05},
+         "spread": {"cuda": 0.10, "tiled-nvidia": 0.03},
+         "device_gflops": {"cuda": 2417.6, "tiled-nvidia": 9700.0},
+         "occupancy": {"cuda": 1.0, "tiled-nvidia": 1.0},
+         "headroom": {"a100": 4.01},
+         "best_naive": "cuda"}
+      ]
+    }"#;
+
+    #[test]
+    fn gpu_snapshots_parse_with_their_own_kind() {
+        let snap = parse_snapshot(GPU).unwrap();
+        assert_eq!(snap.schema, "perfport-bench-gpu/1");
+        assert_eq!(snap.kind, SnapshotKind::Gpu);
+        assert_eq!(snap.sched.as_deref(), Some("graph"));
+        assert_eq!(snap.points.len(), 1);
+        let p = &snap.points[0];
+        assert_eq!(p.gflops["cuda"], 0.08);
+        assert_eq!(p.spread["tiled-nvidia"], 0.03);
+        // The estimate/occupancy blocks are snapshot metadata, not cells.
+        assert!(!p.gflops.contains_key("device_gflops"));
+
+        assert_eq!(parse_snapshot(V2).unwrap().kind, SnapshotKind::Gemm);
+        assert_eq!(parse_snapshot(SERVE).unwrap().kind, SnapshotKind::Serve);
+    }
+
+    #[test]
+    fn gpu_snapshots_diff_like_any_other() {
+        let base = parse_snapshot(GPU).unwrap();
+        // tiled-nvidia dips 50%: spreads 0.03+0.03, threshold
+        // max(0.05, 2·0.06) = 12% -> regression.
+        let cand =
+            parse_snapshot(&GPU.replacen("\"tiled-nvidia\": 0.05", "\"tiled-nvidia\": 0.025", 1))
+                .unwrap();
+        let entries = diff(&base, &cand, &DiffConfig::default());
+        let tiled = entries
+            .iter()
+            .find(|e| e.variant == "tiled-nvidia")
+            .unwrap();
+        assert_eq!(tiled.verdict, Verdict::Regressed);
+        let cuda = entries.iter().find(|e| e.variant == "cuda").unwrap();
+        assert_eq!(cuda.verdict, Verdict::Ok);
     }
 }

@@ -27,8 +27,9 @@ pub mod manifest;
 pub use manifest::Manifest;
 
 use perfport_core::{
-    figure_specs, render_csv, render_figure, render_study_csv, run_study_sharded, study_grid,
-    FigureSpec, Shard, StudyConfig,
+    figure_efficiency, figure_specs, render_csv, render_efficiency, render_efficiency_csv,
+    render_figure, render_study_csv, run_study_sharded, study_grid, FigureSpec, HostBaseline,
+    Shard, StudyConfig,
 };
 use std::path::PathBuf;
 
@@ -36,8 +37,9 @@ use std::path::PathBuf;
 pub const USAGE: &str =
     "usage: [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile] [--sched barrier|graph]";
 
-/// The usage line for the figure binaries, which also shard.
-pub const STUDY_USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile] [--sched barrier|graph] [--shard <i/n>] [--jobs <n>]";
+/// The usage line for the figure binaries, which also shard and select
+/// the vendor baseline for the GPU efficiency rows.
+pub const STUDY_USAGE: &str = "usage: [--quick] [--csv] [--threads <n>] [--trace <path>] [--profile] [--sched barrier|graph] [--shard <i/n>] [--jobs <n>] [--baseline measured|modelled]";
 
 /// Command-line options shared by the regeneration binaries.
 #[derive(Debug, Clone, Default)]
@@ -227,7 +229,8 @@ impl HarnessArgs {
     }
 }
 
-/// The `--shard i/n` / `--jobs N` options of the figure binaries.
+/// The `--shard i/n` / `--jobs N` / `--baseline` options of the figure
+/// binaries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardArgs {
     /// Which slice of the study grid to run (`None`: classic panel
@@ -235,12 +238,15 @@ pub struct ShardArgs {
     pub shard: Option<Shard>,
     /// Worker count for the sharded runner (`None`: one job).
     pub jobs: Option<usize>,
+    /// Vendor baseline dividing the GPU efficiency rows (`None`: the
+    /// measured default, see [`HostBaseline`]).
+    pub baseline: Option<HostBaseline>,
 }
 
 impl ShardArgs {
     /// The [`HarnessArgs::try_parse_with_values`] hook consuming
-    /// `--shard`/`--jobs` in both `--flag value` and `--flag=value`
-    /// spellings.
+    /// `--shard`/`--jobs`/`--baseline` in both `--flag value` and
+    /// `--flag=value` spellings.
     ///
     /// # Errors
     ///
@@ -259,11 +265,18 @@ impl ShardArgs {
                 let v = next().ok_or_else(|| "--jobs requires a count argument".to_string())?;
                 self.jobs = Some(parse_job_count(&v)?);
             }
+            "--baseline" => {
+                let v =
+                    next().ok_or_else(|| "--baseline requires measured or modelled".to_string())?;
+                self.baseline = Some(parse_baseline(&v)?);
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--shard=") {
                     self.shard = Some(Shard::parse(v)?);
                 } else if let Some(v) = other.strip_prefix("--jobs=") {
                     self.jobs = Some(parse_job_count(v)?);
+                } else if let Some(v) = other.strip_prefix("--baseline=") {
+                    self.baseline = Some(parse_baseline(v)?);
                 } else {
                     return Ok(false);
                 }
@@ -288,6 +301,13 @@ impl ShardArgs {
     /// thread).
     pub fn jobs(&self) -> usize {
         self.jobs.unwrap_or(1).max(1)
+    }
+
+    /// The vendor baseline the GPU efficiency rows divide by: the
+    /// measured simulator headroom unless `--baseline modelled` asked
+    /// for the paper's naive framing.
+    pub fn baseline(&self) -> HostBaseline {
+        self.baseline.unwrap_or_default()
     }
 }
 
@@ -414,6 +434,16 @@ fn parse_job_count(s: &str) -> Result<usize, String> {
     }
 }
 
+fn parse_baseline(s: &str) -> Result<HostBaseline, String> {
+    match s {
+        "measured" => Ok(HostBaseline::MeasuredTuned),
+        "modelled" | "modeled" => Ok(HostBaseline::NaiveModel),
+        other => Err(format!(
+            "invalid baseline '{other}' (expected measured or modelled)"
+        )),
+    }
+}
+
 /// Finds a registered figure spec by id.
 ///
 /// # Panics
@@ -436,7 +466,7 @@ pub fn spec(id: &str) -> FigureSpec {
 /// goes to stderr and into the `--trace` manifest, never stdout.
 pub fn print_study(ids: &[&str], args: &HarnessArgs, study: &ShardArgs) {
     if !study.is_sharded() {
-        return print_panels(ids, args);
+        return print_panels_with(ids, args, study.baseline());
     }
     args.apply_sched();
     args.start_profiling();
@@ -445,6 +475,10 @@ pub fn print_study(ids: &[&str], args: &HarnessArgs, study: &ShardArgs) {
     let trace = args.start_trace_with(|m| {
         m.shard = Some(shard.to_string());
         m.jobs = Some(jobs);
+        // The sharded CSV is raw per-point throughput — the baseline
+        // never touches it — but the manifest still records which
+        // framing a panel run with the same flags would have divided by.
+        m.baseline = Some(study.baseline().label().to_string());
     });
     let cfg = args.config();
     let total = study_grid(ids, &cfg).len();
@@ -459,11 +493,23 @@ pub fn print_study(ids: &[&str], args: &HarnessArgs, study: &ShardArgs) {
     }
 }
 
-/// Runs the panels and prints them (plus CSV when requested).
+/// Runs the panels and prints them (plus CSV when requested) against
+/// the default measured vendor baseline.
 pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
+    print_panels_with(ids, args, HostBaseline::default())
+}
+
+/// [`print_panels`] with an explicit vendor baseline: GPU panels are
+/// followed by a per-size efficiency block dividing every curve by the
+/// vendor reference times the committed headroom (measured on the
+/// gpusim simulator, `BENCH_gpu.json`) — or by the naive modelled
+/// reference alone under `--baseline modelled`, labeled as such.
+pub fn print_panels_with(ids: &[&str], args: &HarnessArgs, baseline: HostBaseline) {
     args.apply_sched();
     args.start_profiling();
-    let trace = args.start_trace();
+    let trace = args.start_trace_with(|m| {
+        m.baseline = Some(baseline.label().to_string());
+    });
     let cfg = args.config();
     for id in ids {
         let spec = spec(id);
@@ -473,6 +519,15 @@ pub fn print_panels(ids: &[&str], args: &HarnessArgs) {
         if args.csv {
             println!("-- {} csv --", spec.id);
             println!("{}", render_csv(&rows));
+        }
+        if spec.arch.is_gpu() {
+            if let Some(eff) = figure_efficiency(&spec, &cfg, baseline) {
+                println!("{}", render_efficiency(&eff));
+                if args.csv {
+                    println!("-- {} efficiency csv --", spec.id);
+                    println!("{}", render_efficiency_csv(&eff));
+                }
+            }
         }
     }
     if let Some(trace) = trace {
@@ -629,6 +684,27 @@ mod tests {
         let (_, s) = parse_study(&["--jobs", "2"]).unwrap();
         assert!(s.is_sharded());
         assert_eq!(s.shard(), Shard::FULL);
+    }
+
+    #[test]
+    fn baseline_flag_selects_the_vendor_framing() {
+        // Default: the measured simulator/host headroom divides the rows.
+        let (_, s) = parse_study(&["--quick"]).unwrap();
+        assert_eq!(s.baseline, None);
+        assert_eq!(s.baseline(), HostBaseline::MeasuredTuned);
+        let (_, s) = parse_study(&["--baseline", "modelled"]).unwrap();
+        assert_eq!(s.baseline(), HostBaseline::NaiveModel);
+        let (_, s) = parse_study(&["--baseline=measured", "--quick"]).unwrap();
+        assert_eq!(s.baseline(), HostBaseline::MeasuredTuned);
+        // The single-l American spelling is accepted too.
+        let (_, s) = parse_study(&["--baseline=modeled"]).unwrap();
+        assert_eq!(s.baseline(), HostBaseline::NaiveModel);
+        let err = parse_study(&["--baseline", "vibes"]).unwrap_err();
+        assert!(err.contains("vibes") && err.contains("measured"));
+        assert!(parse_study(&["--baseline"])
+            .unwrap_err()
+            .contains("measured or modelled"));
+        assert!(STUDY_USAGE.contains("--baseline"));
     }
 
     #[test]

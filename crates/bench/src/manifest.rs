@@ -52,6 +52,10 @@ pub struct Manifest {
     pub shard: Option<String>,
     /// Job count of the sharded study runner, `None` for unsharded runs.
     pub jobs: Option<usize>,
+    /// Vendor-baseline framing of a figure run's efficiency rows
+    /// (`"measured"` or `"modelled"`), `None` for runs that render no
+    /// efficiencies (snapshot and report binaries).
+    pub baseline: Option<String>,
     /// Detected cache hierarchy (carries its own provenance in
     /// [`CacheInfo::source`]).
     pub cache: CacheInfo,
@@ -130,6 +134,7 @@ impl Manifest {
             threads,
             shard: None,
             jobs: None,
+            baseline: None,
             cache: CacheInfo::host(),
             counters: perfport_obs::probe().manifest_str(),
             telemetry: perfport_telemetry::build_mode().to_string(),
@@ -178,6 +183,11 @@ impl Manifest {
             None => "null".to_string(),
         };
         let _ = writeln!(out, "{pad}  \"shard\": {shard}, \"jobs\": {jobs},");
+        let baseline = match &self.baseline {
+            Some(b) => format!("\"{}\"", esc(b)),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(out, "{pad}  \"baseline\": {baseline},");
         let _ = writeln!(
             out,
             "{pad}  \"cache\": {{\"l1d_bytes\": {}, \"l2_bytes\": {}, \"l3_bytes\": {}, \"source\": \"{}\"}},",
@@ -224,6 +234,9 @@ impl Manifest {
         if let Some(jobs) = self.jobs {
             args.push(("jobs".to_string(), Value::from(jobs)));
         }
+        if let Some(baseline) = &self.baseline {
+            args.push(("baseline".to_string(), Value::Str(baseline.clone())));
+        }
         args
     }
 }
@@ -257,6 +270,7 @@ mod tests {
             threads: 16,
             shard: None,
             jobs: None,
+            baseline: None,
             cache: CacheInfo::DEFAULT,
             counters: "unavailable (perf_event_paranoid=3)".to_string(),
             telemetry: "on".to_string(),
@@ -272,6 +286,7 @@ mod tests {
         use perfport_trace::json::Json;
         assert!(matches!(doc.get("shard"), Some(Json::Null)));
         assert!(matches!(doc.get("jobs"), Some(Json::Null)));
+        assert!(matches!(doc.get("baseline"), Some(Json::Null)));
         assert!(matches!(doc.get("simd_rejected"), Some(Json::Null)));
         assert_eq!(
             doc.get("cpu_model").unwrap().as_str(),
@@ -307,6 +322,21 @@ mod tests {
         let plain = Manifest::collect(2);
         let keys: Vec<String> = plain.trace_args().into_iter().map(|(k, _)| k).collect();
         assert!(!keys.contains(&"shard".to_string()));
+    }
+
+    #[test]
+    fn figure_runs_stamp_their_baseline() {
+        let mut m = Manifest::collect(2);
+        m.baseline = Some("measured".to_string());
+        let doc = perfport_trace::json::parse(&m.to_json(0)).expect("valid JSON");
+        assert_eq!(doc.get("baseline").unwrap().as_str(), Some("measured"));
+        let keys: Vec<String> = m.trace_args().into_iter().map(|(k, _)| k).collect();
+        assert!(keys.contains(&"baseline".to_string()));
+        // Snapshot binaries render no efficiencies: no baseline key in
+        // their trace events.
+        let plain = Manifest::collect(2);
+        let keys: Vec<String> = plain.trace_args().into_iter().map(|(k, _)| k).collect();
+        assert!(!keys.contains(&"baseline".to_string()));
     }
 
     #[test]

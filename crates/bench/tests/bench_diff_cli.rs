@@ -203,8 +203,8 @@ fn serve_tail_latency_regression_gates_and_warn_only_passes() {
 
 #[test]
 fn serve_and_gemm_snapshots_do_not_cross_compare_silently() {
-    // Nothing in common between a SERVE point and an FP64 kernel point:
-    // the diff must refuse rather than report a hollow pass.
+    // Disjoint workload kinds are refused up front, with both schemas
+    // named — not reported as a hollow no-overlap error after the fact.
     let base = fixture("serve-e.json", SERVE_BASE);
     let cand = fixture("gemm-e.json", BASELINE);
     let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
@@ -212,7 +212,92 @@ fn serve_and_gemm_snapshots_do_not_cross_compare_silently() {
         code, 2,
         "disjoint snapshots must not pass silently:\n{text}"
     );
-    assert!(text.contains("share no (n, precision, variant) cells"));
+    assert!(text.contains("snapshot kinds differ"), "{text}");
+    assert!(
+        text.contains("perfport-bench-serve/1") && text.contains("perfport-bench-gemm/2"),
+        "the refusal must name both schemas:\n{text}"
+    );
+    assert!(
+        text.contains("serving latency") && text.contains("host GEMM"),
+        "the refusal must describe both kinds:\n{text}"
+    );
+}
+
+/// A GPU-simulator snapshot as `gpu_gemm` emits it (trimmed to the keys
+/// the parser reads; the extra per-point device blocks are ignored).
+const GPU_BASE: &str = r#"{
+  "schema": "perfport-bench-gpu/1",
+  "quick": true,
+  "manifest": {"schema": "perfport-manifest/1", "simd_isa": "avx2"},
+  "devices": {"a100": "NVIDIA A100"},
+  "headroom": {"a100": {"FP64": 4.0}},
+  "points": [
+    {"n": 64, "precision": "FP64",
+     "gflops": {"cuda": 0.070, "tiled-nvidia": 0.050},
+     "spread": {"cuda": 0.050, "tiled-nvidia": 0.030}}
+  ]
+}"#;
+
+#[test]
+fn gpu_snapshot_self_compare_passes() {
+    let base = fixture("gpu-a.json", GPU_BASE);
+    let cand = fixture("gpu-b.json", GPU_BASE);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(code, 0, "identical GPU snapshots must pass:\n{text}");
+    assert!(text.contains("0 regressed"), "summary missing:\n{text}");
+    assert!(
+        text.contains("tiled-nvidia"),
+        "GPU variants must appear in the report:\n{text}"
+    );
+}
+
+#[test]
+fn gpu_and_gemm_snapshots_are_refused_with_named_schemas() {
+    let base = fixture("gpu-c.json", GPU_BASE);
+    let cand = fixture("gemm-c.json", BASELINE);
+    let (code, text) = run(&[base.to_str().unwrap(), cand.to_str().unwrap()]);
+    assert_eq!(code, 2, "gpu-vs-gemm must be refused:\n{text}");
+    assert!(text.contains("snapshot kinds differ"), "{text}");
+    assert!(
+        text.contains("GPU simulator") && text.contains("host GEMM"),
+        "the refusal must describe both kinds:\n{text}"
+    );
+    // And the other disjoint pairing.
+    let serve = fixture("serve-f.json", SERVE_BASE);
+    let (code, text) = run(&[base.to_str().unwrap(), serve.to_str().unwrap()]);
+    assert_eq!(code, 2, "gpu-vs-serve must be refused:\n{text}");
+    assert!(text.contains("serving latency"), "{text}");
+}
+
+#[test]
+fn spreadless_cells_gate_on_the_blanket_floor() {
+    // A snapshot with no committed spreads: a 3% drop sits inside the
+    // documented 5% blanket floor even with the configured floor at 0.
+    let no_spread = GPU_BASE.replace(
+        "\"spread\": {\"cuda\": 0.050, \"tiled-nvidia\": 0.030}",
+        "\"spread\": {}",
+    );
+    let drooped = no_spread.replace("\"cuda\": 0.070", "\"cuda\": 0.068");
+    let base = fixture("flat-a.json", &no_spread);
+    let cand = fixture("flat-b.json", &drooped);
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--floor",
+        "0",
+    ]);
+    assert_eq!(code, 0, "a 3% drop is inside the blanket floor:\n{text}");
+    // A 10% drop is not.
+    let worse = no_spread.replace("\"cuda\": 0.070", "\"cuda\": 0.063");
+    let cand = fixture("flat-c.json", &worse);
+    let (code, text) = run(&[
+        base.to_str().unwrap(),
+        cand.to_str().unwrap(),
+        "--floor",
+        "0",
+    ]);
+    assert_eq!(code, 1, "a 10% drop must still gate:\n{text}");
+    assert!(text.contains("REGRESSED"));
 }
 
 #[test]

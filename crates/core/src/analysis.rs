@@ -7,30 +7,40 @@ use perfport_machines::Precision;
 use perfport_metrics::EfficiencyMatrix;
 use perfport_models::{vendor_headroom, Arch, ModelFamily, ProgModel};
 
-/// What stands in for the vendor library in the `e_i` denominator on the
-/// CPU architectures (GPU rows are unaffected either way: CUDA/HIP *are*
-/// the vendor path).
+/// What stands in for the vendor library in the `e_i` denominator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HostBaseline {
     /// The paper's published framing: the naive loop nest compiled by the
-    /// vendor toolchain. Used by the cross-check tests that pin this
-    /// repository to Table III as printed.
+    /// vendor toolchain (CPU) or the naive CUDA/HIP kernel (GPU). Used by
+    /// the cross-check tests that pin this repository to Table III as
+    /// printed.
     NaiveModel,
-    /// The honest framing: the naive vendor-toolchain denominator scaled
-    /// by the measured headroom of the tuned packed kernel
-    /// (`perfport-gemm::tuned`, ratios committed in
-    /// [`perfport_models::vendor`]). CPU efficiencies drop by that factor
-    /// — a vendor BLAS is not a naive loop nest.
+    /// The honest framing: the naive vendor denominator scaled by the
+    /// measured headroom of the tuned kernel — the packed register-tiled
+    /// CPU kernel (`perfport-gemm::tuned`, `BENCH_gemm.json`) and the
+    /// tiled shared-memory / tensor-core GPU kernels (`gpu_gemm`,
+    /// `BENCH_gpu.json`); ratios committed in [`perfport_models::vendor`].
+    /// Efficiencies drop by that factor — a vendor library is not a naive
+    /// loop nest.
     #[default]
     MeasuredTuned,
 }
 
 impl HostBaseline {
     /// Denominator multiplier for one (architecture, precision) cell.
-    fn headroom(&self, arch: Arch, precision: Precision) -> f64 {
+    pub fn headroom(&self, arch: Arch, precision: Precision) -> f64 {
         match self {
             HostBaseline::NaiveModel => 1.0,
             HostBaseline::MeasuredTuned => vendor_headroom(arch, precision).value,
+        }
+    }
+
+    /// The provenance label stamped into figure CSV headers and
+    /// manifests: which vendor reference divided each row.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HostBaseline::NaiveModel => "modelled",
+            HostBaseline::MeasuredTuned => "measured",
         }
     }
 
@@ -42,7 +52,7 @@ impl HostBaseline {
             }
             HostBaseline::MeasuredTuned => {
                 "host baseline: measured tuned kernel (naive vendor runs scaled by the \
-                 headroom in BENCH_gemm.json)"
+                 headroom in BENCH_gemm.json / BENCH_gpu.json)"
             }
         }
     }
@@ -131,6 +141,86 @@ pub fn efficiency_table_with(
     }
 }
 
+/// Per-size efficiency rows for one figure panel: every curve divided
+/// by the reference curve times the baseline headroom — Eq. 2 applied
+/// size-by-size instead of summarised into one Table III cell. The GPU
+/// figure binaries print this beneath Figs. 6–7 so the division is by
+/// the *measured* vendor stand-in (tiled / tensor-core simulator
+/// headroom, `BENCH_gpu.json`) by default, not the naive modelled
+/// reference.
+#[derive(Debug, Clone)]
+pub struct FigureEfficiency {
+    /// The curve standing in the denominator.
+    pub reference: ProgModel,
+    /// Whether `reference` is the architecture's vendor model. `false`
+    /// on the FP16 panels, where the vendor reference does not run
+    /// (paper §IV.B) and the panel's leading curve stands in.
+    pub reference_is_vendor: bool,
+    /// The denominator multiplier applied to the reference curve.
+    pub headroom: f64,
+    /// Which vendor framing produced `headroom`.
+    pub baseline: HostBaseline,
+    /// The sweep sizes, aligned with each row's entries.
+    pub sizes: Vec<usize>,
+    /// One row per panel curve; `None` where the model cannot run or a
+    /// size is missing.
+    pub rows: Vec<(ProgModel, Vec<Option<f64>>)>,
+}
+
+/// Computes the per-size efficiency rows behind one figure panel, or
+/// `None` when no reference curve can run at all (an empty spec).
+pub fn figure_efficiency(
+    spec: &crate::study::FigureSpec,
+    cfg: &StudyConfig,
+    baseline: HostBaseline,
+) -> Option<FigureEfficiency> {
+    let sizes = cfg.sizes_for(spec.arch).to_vec();
+    let vendor = ProgModel::vendor_reference(spec.arch);
+    let (reference, reference_is_vendor) =
+        if perfport_models::support(vendor, spec.arch, spec.precision).runs() {
+            (vendor, true)
+        } else {
+            (*spec.models.first()?, false)
+        };
+    let ref_result = run_experiment(&with_cfg(
+        Experiment::new(spec.arch, reference, spec.precision, sizes.clone()),
+        cfg,
+    ))
+    .ok()?;
+    let headroom = baseline.headroom(spec.arch, spec.precision);
+    let rows = spec
+        .models
+        .iter()
+        .map(|&model| {
+            let exp = with_cfg(
+                Experiment::new(spec.arch, model, spec.precision, sizes.clone()),
+                cfg,
+            );
+            let per_size: Vec<Option<f64>> = match run_experiment(&exp) {
+                Ok(result) => sizes
+                    .iter()
+                    .map(|&n| match (result.at(n), ref_result.at(n)) {
+                        (Some(p), Some(v)) if v.gflops > 0.0 => {
+                            Some(p.gflops / (v.gflops * headroom))
+                        }
+                        _ => None,
+                    })
+                    .collect(),
+                Err(_) => vec![None; sizes.len()],
+            };
+            (model, per_size)
+        })
+        .collect();
+    Some(FigureEfficiency {
+        reference,
+        reference_is_vendor,
+        headroom,
+        baseline,
+        sizes,
+        rows,
+    })
+}
+
 fn with_cfg(mut e: Experiment, cfg: &StudyConfig) -> Experiment {
     e.reps = cfg.reps;
     e.seed = cfg.seed;
@@ -183,7 +273,7 @@ mod tests {
     /// by the naive loop nest compiled with the vendor toolchain, so that
     /// is the denominator they can be compared to. The default
     /// `MeasuredTuned` baseline deliberately reports *lower* CPU
-    /// efficiencies (see `measured_baseline_scales_cpu_rows_down`).
+    /// efficiencies (see `measured_baseline_scales_every_row_down`).
     fn naive_table(precision: Precision) -> EfficiencyReport {
         efficiency_table_with(precision, &StudyConfig::quick(), HostBaseline::NaiveModel)
     }
@@ -262,7 +352,7 @@ mod tests {
     }
 
     #[test]
-    fn measured_baseline_scales_cpu_rows_down() {
+    fn measured_baseline_scales_every_row_down() {
         use perfport_models::vendor_headroom;
         let naive = naive_table(Precision::Double);
         let tuned = efficiency_table_with(
@@ -280,16 +370,72 @@ mod tests {
                 ) else {
                     continue;
                 };
-                // CPU rows drop by exactly the measured headroom; GPU
-                // rows (headroom 1.0) are untouched.
+                // Every row drops by exactly its measured headroom — the
+                // CPU rows by the tuned-kernel ratio, the GPU rows by the
+                // tiled/tensor-core simulator ratio.
                 assert!(
                     (et - en / h).abs() < 1e-12,
                     "{family} on {arch}: naive {en}, tuned {et}, headroom {h}"
                 );
-                if !arch.is_gpu() {
-                    assert!(et < en, "{family} on {arch} must drop");
+                assert!(et < en, "{family} on {arch} must drop");
+            }
+        }
+    }
+
+    fn spec(id: &str) -> crate::study::FigureSpec {
+        crate::study::figure_specs()
+            .into_iter()
+            .find(|s| s.id == id)
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_efficiency_divides_by_the_vendor_curve_times_headroom() {
+        let cfg = StudyConfig::quick();
+        let eff = figure_efficiency(&spec("fig7a"), &cfg, HostBaseline::MeasuredTuned)
+            .expect("fig7a has a vendor curve");
+        assert_eq!(eff.reference, ProgModel::vendor_reference(Arch::A100));
+        assert!(eff.reference_is_vendor);
+        assert_eq!(eff.sizes, cfg.gpu_sizes);
+        assert_eq!(eff.rows.len(), 4);
+        let h = vendor_headroom(Arch::A100, Precision::Double).value;
+        assert_eq!(eff.headroom, h);
+        // The vendor curve divided by itself times the headroom is
+        // exactly 1/headroom at every size: the naive-vs-tiled gap.
+        let (model, vendor_row) = &eff.rows[0];
+        assert_eq!(*model, eff.reference);
+        for e in vendor_row {
+            let e = e.expect("vendor runs at every size");
+            assert!((e - 1.0 / h).abs() < 1e-12, "{e} vs 1/{h}");
+        }
+        // Every measured efficiency sits well below the flattering
+        // naive-vs-naive framing.
+        let naive = figure_efficiency(&spec("fig7a"), &cfg, HostBaseline::NaiveModel).unwrap();
+        for (m, row) in &eff.rows {
+            let nrow = &naive.rows.iter().find(|(nm, _)| nm == m).unwrap().1;
+            for (e, ne) in row.iter().zip(nrow.iter()) {
+                if let (Some(e), Some(ne)) = (e, ne) {
+                    assert!((e - ne / h).abs() < 1e-12, "{m}: {e} vs {ne}/{h}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fp16_panels_fall_back_to_the_leading_curve() {
+        // CUDA/HIP do not run at FP16 (support matrix), so the panel's
+        // first model stands in the denominator and is flagged as such.
+        let cfg = StudyConfig::quick();
+        let eff = figure_efficiency(&spec("fig7c"), &cfg, HostBaseline::MeasuredTuned)
+            .expect("fig7c still has curves");
+        assert!(!eff.reference_is_vendor);
+        assert_eq!(eff.reference, ProgModel::JuliaCudaJl);
+        let h = vendor_headroom(Arch::A100, Precision::Half).value;
+        assert_eq!(eff.headroom, h);
+        let (_, julia_row) = &eff.rows[0];
+        for e in julia_row {
+            let e = e.expect("julia runs FP16 everywhere");
+            assert!((e - 1.0 / h).abs() < 1e-12);
         }
     }
 }

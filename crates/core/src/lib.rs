@@ -32,7 +32,10 @@ pub mod stream;
 pub mod study;
 pub mod tables;
 
-pub use analysis::{efficiency_table, efficiency_table_with, EfficiencyReport, HostBaseline};
+pub use analysis::{
+    efficiency_table, efficiency_table_with, figure_efficiency, EfficiencyReport, FigureEfficiency,
+    HostBaseline,
+};
 pub use experiment::{Experiment, ExperimentResult, RunError, SizePoint};
 pub use report::{render_report, reproduction_report, Anchor};
 pub use runner::run_experiment;
@@ -43,4 +46,6 @@ pub use shard::{
 };
 pub use stream::{estimate_stream_bandwidth, run_stream_kernel, StreamKernel};
 pub use study::{figure_specs, FigureSpec, StudyConfig};
-pub use tables::{render_csv, render_figure, render_table3};
+pub use tables::{
+    render_csv, render_efficiency, render_efficiency_csv, render_figure, render_table3,
+};

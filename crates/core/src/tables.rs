@@ -1,7 +1,7 @@
 //! Rendering: ASCII figures/tables and CSV, as the bench binaries print
 //! them.
 
-use crate::analysis::EfficiencyReport;
+use crate::analysis::{EfficiencyReport, FigureEfficiency};
 use crate::experiment::{ExperimentResult, RunError};
 use perfport_models::{ModelFamily, ProgModel};
 
@@ -74,6 +74,69 @@ pub fn render_csv(rows: &[(ProgModel, Result<ExperimentResult, RunError>)]) -> S
                 if let Some(p) = r.at(n) {
                     out.push_str(&format!("{:.2}", p.gflops));
                 }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-size efficiency block the GPU figure binaries print
+/// beneath each panel: every curve divided by the reference curve times
+/// the committed vendor headroom (see
+/// [`crate::analysis::figure_efficiency`]).
+pub fn render_efficiency(eff: &FigureEfficiency) -> String {
+    let mut out = format!(
+        "efficiency vs {} vendor baseline ({} x {:.2} headroom)\n",
+        eff.baseline.label(),
+        eff.reference.name(),
+        eff.headroom
+    );
+    out.push_str(&format!("{:>8}", "N"));
+    for (model, _) in &eff.rows {
+        out.push_str(&format!("  {:>16}", model.name()));
+    }
+    out.push('\n');
+    for (i, &n) in eff.sizes.iter().enumerate() {
+        out.push_str(&format!("{n:>8}"));
+        for (_, row) in &eff.rows {
+            match row.get(i).copied().flatten() {
+                Some(e) => out.push_str(&format!("  {e:>16.3}")),
+                None => out.push_str(&format!("  {:>16}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    if !eff.reference_is_vendor {
+        out.push_str(&format!(
+            "  note: no vendor curve at this precision; {} stands in the denominator\n",
+            eff.reference.name()
+        ));
+    }
+    out
+}
+
+/// The same efficiency block as CSV. The leading `# baseline:` comment
+/// stamps which vendor framing (`measured` or `modelled`) divided the
+/// rows, so a plotted artifact carries its denominator's provenance.
+pub fn render_efficiency_csv(eff: &FigureEfficiency) -> String {
+    let mut out = format!(
+        "# baseline: {} (reference {} x {:.2} headroom)\nn",
+        eff.baseline.label(),
+        eff.reference.name(),
+        eff.headroom
+    );
+    for (model, _) in &eff.rows {
+        out.push(',');
+        out.push_str(model.name());
+    }
+    out.push('\n');
+    for (i, &n) in eff.sizes.iter().enumerate() {
+        out.push_str(&n.to_string());
+        for (_, row) in &eff.rows {
+            out.push(',');
+            if let Some(e) = row.get(i).copied().flatten() {
+                out.push_str(&format!("{e:.4}"));
             }
         }
         out.push('\n');
@@ -174,6 +237,41 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.matches(',').count(), rows.len());
         }
+    }
+
+    #[test]
+    fn efficiency_block_carries_the_baseline_label() {
+        use crate::analysis::{figure_efficiency, HostBaseline};
+        let cfg = StudyConfig::quick();
+        let spec = figure_specs()
+            .into_iter()
+            .find(|s| s.id == "fig6a")
+            .unwrap();
+        let eff = figure_efficiency(&spec, &cfg, HostBaseline::MeasuredTuned).unwrap();
+        let text = render_efficiency(&eff);
+        assert!(text.starts_with("efficiency vs measured vendor baseline (HIP x 15.12"));
+        assert!(text.contains("Kokkos/HIP"));
+        let csv = render_efficiency_csv(&eff);
+        assert!(csv.starts_with("# baseline: measured (reference HIP x 15.12 headroom)\n"));
+        assert!(csv.lines().nth(1).unwrap().starts_with("n,HIP,"));
+        // The modelled fallback framing is labeled as such.
+        let modelled = figure_efficiency(&spec, &cfg, HostBaseline::NaiveModel).unwrap();
+        assert!(render_efficiency_csv(&modelled).starts_with("# baseline: modelled"));
+        assert!(render_efficiency(&modelled).starts_with("efficiency vs modelled"));
+    }
+
+    #[test]
+    fn fp16_efficiency_block_flags_the_stand_in_reference() {
+        use crate::analysis::{figure_efficiency, HostBaseline};
+        let cfg = StudyConfig::quick();
+        let spec = figure_specs()
+            .into_iter()
+            .find(|s| s.id == "fig7c")
+            .unwrap();
+        let eff = figure_efficiency(&spec, &cfg, HostBaseline::MeasuredTuned).unwrap();
+        let text = render_efficiency(&eff);
+        assert!(text.contains("note: no vendor curve at this precision"));
+        assert!(text.contains("stands in the denominator"));
     }
 
     #[test]

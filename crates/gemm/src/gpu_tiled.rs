@@ -16,6 +16,13 @@
 //! * phase `2t+1` — each thread accumulates `TILE` multiply-adds from
 //!   shared memory into its per-thread accumulator, then barrier;
 //! * after the last step, the accumulator is written to `C`.
+//!
+//! [`gpu_gemm_tiled_mixed`] is the same staging pattern with inputs at
+//! precision `I` widened to the accumulator precision `O` on load — the
+//! fragment shape of a tensor-core MMA (FP16 tiles in, FP32 accumulate,
+//! following Faingnaert et al.). The simulator executes it functionally;
+//! the *throughput* of the tensor-core datapath is modelled separately
+//! (`perfport_machines::tensor_core_gflops`, occupancy-derived).
 
 use crate::matrix::{Layout, Matrix};
 use crate::scalar::Scalar;
@@ -27,28 +34,32 @@ use perfport_gpusim::{
 /// Tile side length (threads per block side).
 pub const TILE: usize = 16;
 
-struct TiledGemm<'a, T: Scalar> {
-    a: &'a perfport_gpusim::DeviceBuffer<T>,
-    b: &'a perfport_gpusim::DeviceBuffer<T>,
-    c: &'a perfport_gpusim::DeviceBuffer<T>,
+/// Shared-memory footprint of one tiled block, in `O`-sized elements
+/// (an `A` tile plus a `B` tile, both staged at accumulator precision).
+pub const TILE_SMEM_ELEMS: usize = 2 * TILE * TILE;
+
+struct TiledGemm<'a, I: Scalar, O: Scalar> {
+    a: &'a perfport_gpusim::DeviceBuffer<I>,
+    b: &'a perfport_gpusim::DeviceBuffer<I>,
+    c: &'a perfport_gpusim::DeviceBuffer<O>,
     m: usize,
     n: usize,
     k: usize,
     steps: usize,
 }
 
-impl<T: Scalar> CooperativeKernel<T> for TiledGemm<'_, T> {
+impl<I: Scalar, O: Scalar> CooperativeKernel<O> for TiledGemm<'_, I, O> {
     /// The running dot-product accumulator lives across barriers.
-    type State = Option<T>;
+    type State = Option<O>;
 
     fn phase(
         &self,
         phase: usize,
         ctx: &ThreadCtx,
         state: &mut Self::State,
-        shared: &SharedMem<T>,
+        shared: &SharedMem<O>,
     ) -> bool {
-        let acc = state.get_or_insert(T::zero());
+        let acc = state.get_or_insert(O::zero());
         let (tx, ty) = (ctx.thread_idx.x as usize, ctx.thread_idx.y as usize);
         let col = ctx.global_x();
         let row = ctx.global_y();
@@ -56,19 +67,20 @@ impl<T: Scalar> CooperativeKernel<T> for TiledGemm<'_, T> {
 
         if phase.is_multiple_of(2) {
             // Load phase: stage A[row, step*TILE + tx] and
-            // B[step*TILE + ty, col]; zero-pad outside the matrix so the
-            // compute phase stays uniform (no barrier divergence).
+            // B[step*TILE + ty, col], widened to the accumulator
+            // precision; zero-pad outside the matrix so the compute
+            // phase stays uniform (no barrier divergence).
             let ka = step * TILE + tx;
             let av = if row < self.m && ka < self.k {
-                self.a.read(ctx, row * self.k + ka)
+                O::from_f64(self.a.read(ctx, row * self.k + ka).to_f64())
             } else {
-                T::zero()
+                O::zero()
             };
             let kb = step * TILE + ty;
             let bv = if kb < self.k && col < self.n {
-                self.b.read(ctx, kb * self.n + col)
+                O::from_f64(self.b.read(ctx, kb * self.n + col).to_f64())
             } else {
-                T::zero()
+                O::zero()
             };
             shared.write(ty * TILE + tx, av);
             shared.write(TILE * TILE + ty * TILE + tx, bv);
@@ -108,13 +120,33 @@ pub fn gpu_gemm_tiled<T: Scalar>(
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Result<(Matrix<T>, LaunchStats), LaunchError> {
+    gpu_gemm_tiled_mixed::<T, T>(gpu, a, b)
+}
+
+/// Mixed-precision tiled kernel: inputs at precision `I`, shared-memory
+/// staging, accumulation, and output at precision `O` — the functional
+/// execution behind the modelled tensor-core variant
+/// (`I = F16, O = f32`).
+///
+/// # Errors
+///
+/// Propagates simulator launch errors.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gpu_gemm_tiled_mixed<I: Scalar, O: Scalar>(
+    gpu: &Gpu,
+    a: &Matrix<I>,
+    b: &Matrix<I>,
+) -> Result<(Matrix<O>, LaunchStats), LaunchError> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (m, n, k) = (a.rows(), b.cols(), a.cols());
     let a_host = a.to_layout(Layout::RowMajor);
     let b_host = b.to_layout(Layout::RowMajor);
     let da = gpu.alloc_from_slice(a_host.as_slice());
     let db = gpu.alloc_from_slice(b_host.as_slice());
-    let dc = gpu.alloc_filled(m * n, T::zero());
+    let dc = gpu.alloc_filled(m * n, O::zero());
 
     let cfg = LaunchConfig::cover2d(n as u32, m as u32, Dim3::d2(TILE as u32, TILE as u32));
     let kernel = TiledGemm {
@@ -129,13 +161,13 @@ pub fn gpu_gemm_tiled<T: Scalar>(
     let stats = gpu.launch_cooperative(
         cfg,
         LaunchOptions::default(),
-        2 * TILE * TILE,
-        T::zero(),
+        TILE_SMEM_ELEMS,
+        O::zero(),
         &kernel,
     )?;
 
     let host = dc.to_host();
-    let mut c = Matrix::<T>::zeros(m, n, Layout::RowMajor);
+    let mut c = Matrix::<O>::zeros(m, n, Layout::RowMajor);
     c.as_mut_slice().copy_from_slice(&host);
     Ok((c, stats))
 }

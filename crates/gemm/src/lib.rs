@@ -69,7 +69,7 @@ pub use batch::{
     Output, Precision, Problem,
 };
 pub use gpu::{gpu_gemm, gpu_gemm_mixed, GpuVariant};
-pub use gpu_tiled::{gpu_gemm_tiled, TILE};
+pub use gpu_tiled::{gpu_gemm_tiled, gpu_gemm_tiled_mixed, TILE, TILE_SMEM_ELEMS};
 pub use matrix::{Layout, Matrix};
 pub use parallel::{par_gemm, par_gemm_element_grid};
 pub use portable::{gemm_element, portable_gemm, Backend, BackendStats, GemmAccess};

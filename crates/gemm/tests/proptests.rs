@@ -300,6 +300,54 @@ proptest! {
     }
 }
 
+/// GPU shapes: ragged around the 16-wide shared-memory tile, down to
+/// 1×1×1, so partial tiles and zero-padded edge threads are exercised.
+fn gpu_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..40, 1usize..40, 1usize..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tiled shared-memory kernel agrees with the naive GPU kernel
+    /// within the `verify` tolerance for ragged shapes on both device
+    /// classes; the mixed F16-in/F32-accumulate variant (the functional
+    /// execution behind the modelled tensor-core path) stays within the
+    /// f32 re-association budget of its naive counterpart.
+    #[test]
+    fn gpu_tiled_matches_naive((m, k, n) in gpu_dims(), seed in 0u64..1000) {
+        use perfport_gemm::{gpu_gemm, gpu_gemm_mixed, gpu_gemm_tiled, gpu_gemm_tiled_mixed, GpuVariant};
+        use perfport_gpusim::{DeviceClass, Dim3, Gpu};
+        for (class, variant) in [
+            (DeviceClass::NvidiaLike, GpuVariant::Cuda),
+            (DeviceClass::AmdLike, GpuVariant::Hip),
+        ] {
+            let gpu = Gpu::new(class);
+            let a = Matrix::<f64>::random(m, k, Layout::RowMajor, seed);
+            let b = Matrix::<f64>::random(k, n, Layout::RowMajor, seed + 1);
+            let (naive, _) = gpu_gemm(&gpu, variant, &a, &b, Dim3::d2(32, 32)).unwrap();
+            let (tiled, _) = gpu_gemm_tiled(&gpu, &a, &b).unwrap();
+            prop_assert!(verify_gemm(&a, &b, &tiled).is_ok(), "{variant} tiled f64");
+            prop_assert!(
+                naive.to_layout(Layout::RowMajor).max_abs_diff(&tiled) < 1e-10,
+                "{variant} tiled vs naive f64"
+            );
+
+            let a16: Matrix<F16> = a.cast();
+            let b16: Matrix<F16> = b.cast();
+            let (naive16, _) =
+                gpu_gemm_mixed::<F16, f32>(&gpu, variant, &a16, &b16, Dim3::d2(32, 32)).unwrap();
+            let (tiled16, _) = gpu_gemm_tiled_mixed::<F16, f32>(&gpu, &a16, &b16).unwrap();
+            // Same widened products, different summation order: the gap
+            // is bounded by f32 re-association over k terms.
+            prop_assert!(
+                naive16.to_layout(Layout::RowMajor).max_abs_diff(&tiled16) < 1e-3,
+                "{variant} tiled vs naive f16/f32"
+            );
+        }
+    }
+}
+
 /// One f64 microkernel comparison: build ragged-friendly panels, run the
 /// `isa`-selected kernel and the portable one, bound the difference by
 /// the per-step FMA rounding budget.

@@ -44,5 +44,5 @@ pub use ctx::ThreadCtx;
 pub use device::DeviceClass;
 pub use dim::Dim3;
 pub use launch::{Gpu, LaunchConfig, LaunchError, LaunchOptions};
-pub use occupancy::occupancy;
+pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use stats::LaunchStats;

@@ -125,4 +125,52 @@ mod tests {
     fn zero_block_panics() {
         let _ = occupancy(DeviceClass::NvidiaLike, 0, 0);
     }
+
+    #[test]
+    #[should_panic(expected = "block exceeds device limit")]
+    fn oversized_block_panics() {
+        let max = DeviceClass::NvidiaLike.max_threads_per_block();
+        let _ = occupancy(DeviceClass::NvidiaLike, max + 1, 0);
+    }
+
+    #[test]
+    fn the_exact_device_block_limit_is_accepted() {
+        // The boundary itself must not trip the assert: a full-sized
+        // block is the paper's own 32x32 launch configuration.
+        for class in [DeviceClass::NvidiaLike, DeviceClass::AmdLike] {
+            let o = occupancy(class, class.max_threads_per_block(), 0);
+            assert!(o.blocks_per_sm >= 1, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn zero_shared_memory_never_limits() {
+        // smem 0 would divide by zero naively; it must read as "no
+        // shared-memory constraint", not zero resident blocks.
+        for class in [DeviceClass::NvidiaLike, DeviceClass::AmdLike] {
+            let o = occupancy(class, 256, 0);
+            assert!(o.blocks_per_sm > 0, "{class:?}");
+            assert_ne!(o.limiter, OccupancyLimiter::SharedMemory, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn limiter_tie_breaks_prefer_threads_then_blocks() {
+        // 256-thread blocks with exactly an eighth of the SM's shared
+        // memory each: the thread cap (2048/256 = 8) and the smem cap
+        // (8) tie. The reported limiter follows the documented
+        // Threads > Blocks > SharedMemory precedence.
+        let class = DeviceClass::NvidiaLike;
+        let eighth = class.shared_mem_per_sm() / 8;
+        let o = occupancy(class, 256, eighth);
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.limiter, OccupancyLimiter::Threads);
+        // 32-thread blocks put the thread cap at 64 but tie the block
+        // cap (32) with an smem cap of 32: Blocks wins over
+        // SharedMemory.
+        let thirty_second = class.shared_mem_per_sm() / 32;
+        let o = occupancy(class, 32, thirty_second);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+    }
 }

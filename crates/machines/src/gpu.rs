@@ -24,6 +24,10 @@ pub struct GpuMachine {
     pub peak_fp32_gflops: f64,
     /// Peak vector FP16, GFLOP/s.
     pub peak_fp16_gflops: f64,
+    /// Peak matrix-unit FP16-in/FP32-accumulate rate, GFLOP/s (tensor
+    /// cores on NVIDIA, matrix cores on CDNA2) — reachable only through
+    /// MMA fragments, never from a scalar FMA loop.
+    pub peak_tensor_fp16_gflops: f64,
     /// Sustained HBM bandwidth, GB/s.
     pub mem_bw_gbs: f64,
     /// SM clock, GHz.
@@ -60,9 +64,11 @@ impl GpuMachine {
             sms: 108,
             peak_fp64_gflops: 9_700.0,
             peak_fp32_gflops: 19_500.0,
-            // Non-tensor FP16 vector rate (tensor cores would be 312 TF,
-            // unreachable from a hand-rolled FMA loop).
+            // Non-tensor FP16 vector rate (tensor cores are the
+            // separate matrix-unit rate below, unreachable from a
+            // hand-rolled FMA loop).
             peak_fp16_gflops: 39_000.0,
+            peak_tensor_fp16_gflops: 312_000.0,
             mem_bw_gbs: 1_555.0,
             clock_ghz: 1.41,
             l1_bytes_per_cycle_per_sm: 128.0,
@@ -81,6 +87,8 @@ impl GpuMachine {
             peak_fp64_gflops: 23_950.0,
             peak_fp32_gflops: 23_950.0,
             peak_fp16_gflops: 95_700.0,
+            // Half of the full MI250X's 383 TF FP16 matrix rate.
+            peak_tensor_fp16_gflops: 191_500.0,
             mem_bw_gbs: 1_638.0,
             clock_ghz: 1.7,
             l1_bytes_per_cycle_per_sm: 64.0,
@@ -118,5 +126,18 @@ mod tests {
         let g = GpuMachine::a100();
         assert_eq!(g.peak_gflops(Precision::Double), 9_700.0);
         assert_eq!(g.peak_gflops(Precision::Half), 39_000.0);
+    }
+
+    #[test]
+    fn tensor_rate_dwarfs_the_vector_rate() {
+        // The matrix units are the whole point of the mixed-precision
+        // story: both parts keep an ~8× and ~2× step over vector FP16.
+        for g in [GpuMachine::a100(), GpuMachine::mi250x_gcd()] {
+            assert!(
+                g.peak_tensor_fp16_gflops >= 2.0 * g.peak_fp16_gflops,
+                "{}",
+                g.name
+            );
+        }
     }
 }

@@ -137,6 +137,78 @@ pub fn estimate_gpu_kernel(
     )
 }
 
+/// Steady-state throughput ceiling in GFLOP/s for a counter-derived
+/// profile: the lower of the compute and L1/LSU ceilings, derated by
+/// occupancy and divergence only.
+///
+/// This is the asymptotic (large-grid) rate the measured GPU headroom
+/// constants are derived from, so launch overhead and the
+/// wave-quantisation tail are deliberately excluded. So is the DRAM
+/// ceiling: the simulator's transaction counters are cacheless (every
+/// global access becomes line traffic), which would wildly overstate
+/// DRAM pressure for any kernel with reuse — DRAM enters the figure
+/// model through the analytic block-reuse profile instead.
+pub fn steady_state_gflops(
+    machine: &GpuMachine,
+    precision: Precision,
+    profile: &GpuKernelProfile,
+    occupancy: f64,
+    divergence_rate: f64,
+) -> f64 {
+    steady_state_with_peak(
+        machine.peak_gflops(precision),
+        machine,
+        profile,
+        occupancy,
+        divergence_rate,
+    )
+}
+
+/// Steady-state throughput of the modelled tensor-core (matrix-unit)
+/// variant: same derated-roofline shape as [`steady_state_gflops`] but
+/// with the FP16-in/FP32-accumulate matrix rate as the compute ceiling.
+///
+/// The functional kernel behind it
+/// (`perfport_gemm::gpu_gemm_tiled_mixed::<F16, f32>`) executes scalar
+/// MACs on the simulator; its occupancy and traffic counters are real,
+/// while the datapath rate is the spec-sheet matrix-unit peak — hence
+/// "modelled, occupancy-derived".
+pub fn tensor_core_gflops(
+    machine: &GpuMachine,
+    profile: &GpuKernelProfile,
+    occupancy: f64,
+    divergence_rate: f64,
+) -> f64 {
+    steady_state_with_peak(
+        machine.peak_tensor_fp16_gflops,
+        machine,
+        profile,
+        occupancy,
+        divergence_rate,
+    )
+}
+
+fn steady_state_with_peak(
+    peak_gflops: f64,
+    machine: &GpuMachine,
+    profile: &GpuKernelProfile,
+    occupancy: f64,
+    divergence_rate: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&occupancy), "occupancy in 0..=1");
+    assert!(
+        (0.0..=1.0).contains(&divergence_rate),
+        "divergence in 0..=1"
+    );
+    let occ = (occupancy / OCCUPANCY_SATURATION).min(1.0);
+    let achieved = occ * (1.0 - 0.5 * divergence_rate);
+
+    let compute_s = profile.flops / (peak_gflops * 1e9);
+    let l1_s = profile.l1_bytes / (machine.l1_bw_gbs() * 1e9);
+    let slowest = compute_s.max(l1_s) / achieved;
+    profile.flops / slowest / 1e9
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +319,65 @@ mod tests {
         let s = estimate_gpu_kernel(&m, Precision::Single, &naive_profile(8192.0, 4.0), &exec);
         let gain = s.gflops / d.gflops;
         assert!(gain > 1.0 && gain < 2.1, "gain {gain}");
+    }
+
+    #[test]
+    fn steady_state_naive_is_l1_bound() {
+        // The naive kernel moves ~2 elements per FMA pair through the
+        // LSU: its steady-state rate is the L1 ceiling, far below peak.
+        let m = GpuMachine::a100();
+        let p = naive_profile(4096.0, 8.0);
+        let g = steady_state_gflops(&m, Precision::Double, &p, 1.0, 0.0);
+        let l1_limited = p.flops / (p.l1_bytes / (m.l1_bw_gbs() * 1e9)) / 1e9;
+        assert!((g - l1_limited).abs() / l1_limited < 1e-9, "{g}");
+        assert!(g < m.peak_fp64_gflops);
+    }
+
+    #[test]
+    fn steady_state_tiled_reaches_the_compute_ceiling() {
+        // TILE× less global traffic flips the binding ceiling to compute.
+        let m = GpuMachine::a100();
+        let n = 4096.0;
+        let p = GpuKernelProfile {
+            flops: 2.0 * n * n * n,
+            l1_bytes: (n * n * n * 2.0 / 16.0 + n * n) * 8.0,
+            dram_bytes: 0.0,
+        };
+        let g = steady_state_gflops(&m, Precision::Double, &p, 1.0, 0.0);
+        assert!(
+            (g - m.peak_fp64_gflops).abs() / m.peak_fp64_gflops < 0.01,
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn tensor_core_rate_uses_the_matrix_peak() {
+        let m = GpuMachine::a100();
+        let n = 4096.0;
+        let p = GpuKernelProfile {
+            flops: 2.0 * n * n * n,
+            // FP16 inputs halve the staged traffic relative to FP32.
+            l1_bytes: (n * n * n * 2.0 / 16.0) * 2.0 + n * n * 4.0,
+            dram_bytes: 0.0,
+        };
+        let tensor = tensor_core_gflops(&m, &p, 1.0, 0.0);
+        let vector = steady_state_gflops(&m, Precision::Half, &p, 1.0, 0.0);
+        // At 1/16 traffic intensity even the matrix units are LSU-bound,
+        // but still well above the vector-FP16 compute rate.
+        assert!(tensor > vector, "tensor {tensor} vs vector {vector}");
+        assert!(tensor <= m.peak_tensor_fp16_gflops);
+    }
+
+    #[test]
+    fn steady_state_derates_with_occupancy() {
+        let m = GpuMachine::mi250x_gcd();
+        let p = naive_profile(2048.0, 8.0);
+        let low = steady_state_gflops(&m, Precision::Double, &p, 0.05, 0.0);
+        let sat = steady_state_gflops(&m, Precision::Double, &p, OCCUPANCY_SATURATION, 0.0);
+        let full = steady_state_gflops(&m, Precision::Double, &p, 1.0, 0.0);
+        assert!(low < sat);
+        // Past the saturation knee extra occupancy stops helping.
+        assert!((sat - full).abs() < 1e-9);
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod roofline;
 pub use cpu::CpuMachine;
 pub use cpu_model::{estimate_cpu_gemm, numa_locality, CpuExecution};
 pub use gpu::GpuMachine;
-pub use gpu_model::{estimate_gpu_kernel, GpuExecution, GpuKernelProfile};
+pub use gpu_model::{
+    estimate_gpu_kernel, steady_state_gflops, tensor_core_gflops, GpuExecution, GpuKernelProfile,
+};
 pub use precision::Precision;
 pub use roofline::{Bound, Estimate, Roofline};
 

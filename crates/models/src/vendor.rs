@@ -19,8 +19,15 @@
 //! deterministic and its golden files machine-independent, while the
 //! committed values themselves remain honest wall-clock measurements.
 //!
-//! GPU targets are unaffected: their vendor references (CUDA, HIP) already
-//! stand for the tuned library path in the machine model.
+//! The GPU side has the same bug shape and now the same fix: the modelled
+//! CUDA/HIP vendor references run the paper's naive one-thread-per-element
+//! kernel, but a real cuBLAS/rocBLAS stages tiles through shared memory
+//! (and reaches the matrix units at FP16). The `gpu_gemm` bench bin runs
+//! the tiled shared-memory kernel and the modelled tensor-core variant on
+//! the gpusim simulator under the same warm-up-then-reps protocol, derives
+//! steady-state device estimates from the measured counters, and the
+//! tiled-over-best-naive ratios below are that measurement, committed as
+//! data (raw snapshot: `BENCH_gpu.json` at the repo root).
 
 use crate::arch::Arch;
 use crate::calibration::Calibration;
@@ -34,15 +41,73 @@ const HEADROOM_F64: f64 = 6.68;
 /// (256-bit AVX2 microkernel under the AVX-512 verdict).
 const HEADROOM_F32: f64 = 4.58;
 
-/// Multiplier the measured tuned kernel holds over the fastest naive
-/// portable kernel on a CPU target (1.0 on GPUs, whose vendor reference
-/// already models the tuned library).
+/// Measured-on-simulator steady-state ratios of the tiled shared-memory
+/// kernel (FP64/FP32) and the modelled tensor-core mixed-precision
+/// variant (FP16) over the best naive kernel at n=128 — `gpu_gemm`,
+/// committed in `BENCH_gpu.json`'s `headroom` block. The naive kernels
+/// are LSU-bound (two element loads per FMA); tiling drops global
+/// traffic by the tile factor, which on the A100 flips FP64/FP32 to
+/// compute-bound at ~4× while the MI250X's fatter FP64 vector units
+/// leave it LSU-limited far longer.
+const GPU_HEADROOM_A100_F64: f64 = 4.00;
+const GPU_HEADROOM_A100_F32: f64 = 4.02;
+const GPU_HEADROOM_A100_F16: f64 = 14.33;
+const GPU_HEADROOM_MI250X_F64: f64 = 15.12;
+const GPU_HEADROOM_MI250X_F32: f64 = 8.04;
+const GPU_HEADROOM_MI250X_F16: f64 = 14.33;
+
+/// Multiplier the measured tuned (or tiled/tensor-core, on GPUs) kernel
+/// holds over the fastest naive portable kernel on each target.
 pub fn vendor_headroom(arch: Arch, precision: Precision) -> Calibration {
-    if arch.is_gpu() {
-        return Calibration {
-            value: 1.0,
-            provenance: "GPU vendor reference already models the tuned library path",
-        };
+    match arch {
+        Arch::A100 => {
+            let (value, provenance) = match precision {
+                Precision::Double => (
+                    GPU_HEADROOM_A100_F64,
+                    "measured on gpusim: tiled shared-memory kernel vs fastest naive \
+                     kernel, steady-state device estimate, n=128 FP64 on the A100 model \
+                     (gpu_gemm, BENCH_gpu.json)",
+                ),
+                Precision::Single => (
+                    GPU_HEADROOM_A100_F32,
+                    "measured on gpusim: tiled shared-memory kernel vs fastest naive \
+                     kernel, steady-state device estimate, n=128 FP32 on the A100 model \
+                     (gpu_gemm, BENCH_gpu.json)",
+                ),
+                Precision::Half => (
+                    GPU_HEADROOM_A100_F16,
+                    "measured on gpusim: modelled tensor-core mixed-precision kernel \
+                     (occupancy-derived matrix-unit rate) vs fastest naive mixed kernel, \
+                     n=128 FP16-in/FP32-acc on the A100 model (gpu_gemm, BENCH_gpu.json)",
+                ),
+            };
+            return Calibration { value, provenance };
+        }
+        Arch::Mi250x => {
+            let (value, provenance) = match precision {
+                Precision::Double => (
+                    GPU_HEADROOM_MI250X_F64,
+                    "measured on gpusim: tiled shared-memory kernel vs fastest naive \
+                     kernel, steady-state device estimate, n=128 FP64 on the MI250X GCD \
+                     model (gpu_gemm, BENCH_gpu.json)",
+                ),
+                Precision::Single => (
+                    GPU_HEADROOM_MI250X_F32,
+                    "measured on gpusim: tiled shared-memory kernel vs fastest naive \
+                     kernel, steady-state device estimate, n=128 FP32 on the MI250X GCD \
+                     model (gpu_gemm, BENCH_gpu.json)",
+                ),
+                Precision::Half => (
+                    GPU_HEADROOM_MI250X_F16,
+                    "measured on gpusim: modelled matrix-core mixed-precision kernel \
+                     (occupancy-derived matrix-unit rate) vs fastest naive mixed kernel, \
+                     n=128 FP16-in/FP32-acc on the MI250X GCD model (gpu_gemm, \
+                     BENCH_gpu.json)",
+                ),
+            };
+            return Calibration { value, provenance };
+        }
+        _ => {}
     }
     match precision {
         Precision::Double => Calibration {
@@ -71,12 +136,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn gpu_targets_have_no_headroom() {
+    fn gpu_targets_scale_by_the_measured_simulator_headroom() {
         for arch in [Arch::Mi250x, Arch::A100] {
             for p in Precision::ALL {
-                assert_eq!(vendor_headroom(arch, p).value, 1.0);
+                let h = vendor_headroom(arch, p);
+                // Tiling beats the LSU-bound naive kernels on every
+                // target; the matrix units beat them harder still.
+                assert!(h.value > 1.0 && h.value < 20.0, "{arch} {p}");
+                assert!(h.provenance.contains("BENCH_gpu.json"), "{arch} {p}");
             }
         }
+        // The A100's naive kernels are LSU-bound at 1/4 of its FP64
+        // peak; the MI250X's fat FP64 vector units leave more on the
+        // table, so its measured headroom must be larger.
+        assert!(
+            vendor_headroom(Arch::Mi250x, Precision::Double).value
+                > vendor_headroom(Arch::A100, Precision::Double).value
+        );
+        // The tensor-core story: FP16 headroom dwarfs the FP64 one on
+        // NVIDIA.
+        assert!(
+            vendor_headroom(Arch::A100, Precision::Half).value
+                > 2.0 * vendor_headroom(Arch::A100, Precision::Double).value
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn main() {
         peak_fp64_gflops: 34_000.0,
         peak_fp32_gflops: 67_000.0,
         peak_fp16_gflops: 134_000.0,
+        peak_tensor_fp16_gflops: 990_000.0,
         mem_bw_gbs: 3_350.0,
         clock_ghz: 1.98,
         l1_bytes_per_cycle_per_sm: 128.0,

@@ -1,8 +1,8 @@
 //! End-to-end integration: the full study pipeline across every crate.
 
 use perfport::core::{
-    efficiency_table, figure_specs, render_csv, render_figure, render_table3, run_experiment,
-    Experiment, StudyConfig,
+    efficiency_table, efficiency_table_with, figure_specs, render_csv, render_figure,
+    render_table3, run_experiment, Experiment, HostBaseline, StudyConfig,
 };
 use perfport::machines::Precision;
 use perfport::models::{Arch, ModelFamily, ProgModel};
@@ -51,8 +51,13 @@ fn all_eleven_figure_panels_regenerate() {
 #[test]
 fn table_iii_regenerates_with_paper_shape() {
     let cfg = quick();
-    let d = efficiency_table(Precision::Double, &cfg);
-    let s = efficiency_table(Precision::Single, &cfg);
+    // The paper's §V claims are about its naive-vs-naive framing; pin
+    // them under that baseline explicitly. The default measured
+    // baseline scales FP64 GPU rows down harder than FP32 (the tiled
+    // kernel's FP64 headroom is larger), which legitimately inverts the
+    // precision ordering.
+    let d = efficiency_table_with(Precision::Double, &cfg, HostBaseline::NaiveModel);
+    let s = efficiency_table_with(Precision::Single, &cfg, HostBaseline::NaiveModel);
 
     // The paper's headline orderings.
     for r in [&d, &s] {
@@ -69,6 +74,11 @@ fn table_iii_regenerates_with_paper_shape() {
             d.phi(f)
         );
     }
+    // The default measured baseline still regenerates and preserves the
+    // cross-model ordering.
+    let dm = efficiency_table(Precision::Double, &cfg);
+    assert!(dm.phi(ModelFamily::Julia) > dm.phi(ModelFamily::Kokkos));
+    assert!(dm.phi(ModelFamily::Kokkos) > dm.phi(ModelFamily::PythonNumba));
     let rendered = render_table3(&[d, s]);
     assert!(rendered.contains("Phi_M"));
 }
